@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs its experiment exactly once (``rounds=1``) — the
+experiments are deterministic simulations, so repeated rounds only cost
+time — prints the reproduced table (run pytest with ``-s`` to see it
+inline), and writes it under ``benchmarks/output/`` for the record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record_result():
+    """Print an ExperimentResult and persist it to benchmarks/output/."""
+
+    def _record(result):
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{result.name}.txt").write_text(text + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round/iteration."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""Benches for the §VI-D area estimate and the design-choice ablations."""
+
+import pytest
+
+from repro.experiments import ablations, area_overhead
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_area_overhead(benchmark, record_result):
+    result = run_once(benchmark, area_overhead.run, QUICK)
+    record_result(result)
+    total = result.row_where(component="TOTAL")
+    assert total["area_mm2"] == pytest.approx(0.014, rel=0.01)
+    fractions = {
+        "pmshr (32x300b CAM)": 87.6,
+        "nvme registers (8x352b)": 6.7,
+        "prefetch buffer (16 entries)": 3.7,
+        "misc registers": 2.0,
+    }
+    for component, expected in fractions.items():
+        row = result.row_where(component=component)
+        assert row["fraction_pct"] == pytest.approx(expected, abs=0.2)
+    die = result.row_where(component="fraction of Xeon E5-2640v3 die")
+    assert die["fraction_pct"] == pytest.approx(0.004, abs=0.0005)
+
+
+def test_ablation_kpoold(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_kpoold_ablation, QUICK)
+    record_result(result)
+    off = result.row_where(kpoold="off")["sync_refill_faults"]
+    on = result.row_where(kpoold="on")["sync_refill_faults"]
+    assert off > 0
+    reduction = 100.0 * (1.0 - on / off)
+    # Paper §IV-D: kpoold cuts synchronous-refill faults by 44.3-78.4 %.
+    assert 30.0 < reduction <= 100.0
+
+
+def test_ablation_pmshr(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_pmshr_ablation, QUICK)
+    record_result(result)
+    latencies = {row["entries"]: row["mean_latency_us"] for row in result.rows}
+    # Tiny PMSHRs serialise misses; 32 entries is enough (the paper's pick).
+    assert latencies[2] > 2.0 * latencies[32]
+    assert latencies[16] == pytest.approx(latencies[32], rel=0.05)
+    fulls = {row["entries"]: row["full_events"] for row in result.rows}
+    assert fulls[2] > 0
+    assert fulls[32] == 0
+
+
+def test_ablation_queue_depth(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_queue_depth_ablation, QUICK)
+    record_result(result)
+    failures = [row["queue_empty_failures"] for row in result.rows]
+    # Deeper queues mean fewer empty-queue fallbacks, monotonically.
+    assert failures == sorted(failures, reverse=True)
+    assert failures[0] > failures[-1]
+
+
+def test_ablation_readahead_extension(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_readahead_ablation, QUICK)
+    record_result(result)
+    latencies = {row["degree"]: row["mean_latency_us"] for row in result.rows}
+    issued = {row["degree"]: row["prefetches_issued"] for row in result.rows}
+    assert issued[0] == 0
+    assert issued[8] > issued[2] > 0
+    # Deeper readahead hides more of the device time on a streaming scan.
+    assert latencies[8] < 0.6 * latencies[0]
+    # Readahead coalesces with demand: no extra device reads are wasted.
+    reads = [row["device_reads"] for row in result.rows]
+    assert max(reads) <= min(reads) * 1.1
+
+
+def test_ablation_kpted_period(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_kpted_ablation, QUICK)
+    record_result(result)
+    backlogs = [row["pending_backlog"] for row in result.rows]
+    cycles = [row["kpted_kcycles"] for row in result.rows]
+    # Longer periods leave a larger unsynchronised backlog…
+    assert backlogs == sorted(backlogs)
+    # …but cost less daemon time.
+    assert cycles == sorted(cycles, reverse=True)
+
+
+def test_ablation_io_timeout_extension(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_timeout_ablation, QUICK)
+    record_result(result)
+    without = result.row_where(timeout_us=None)
+    with_timeout = result.row_where(timeout_us=20.0)
+    assert with_timeout["timeouts"] > 0
+    # Stall cycles collapse; the wait becomes schedulable blocked time.
+    assert with_timeout["stall_kcycles_per_op"] < 0.4 * without["stall_kcycles_per_op"]
+    assert with_timeout["blocked_kcycles_per_op"] > 0
+    assert without["blocked_kcycles_per_op"] == 0
+    # End-to-end latency pays only the bounded exception/switch cost.
+    assert with_timeout["fio_mean_us"] < without["fio_mean_us"] * 1.05
+
+
+def test_ablation_prefetch(benchmark, record_result):
+    result = run_once(benchmark, ablations.run_prefetch_ablation, QUICK)
+    record_result(result)
+    no_prefetch = result.row_where(prefetch_entries=0)
+    with_prefetch = result.row_where(prefetch_entries=16)
+    assert no_prefetch["cold_pops"] > 0
+    assert with_prefetch["cold_pops"] == 0
+    # The memory round trip is hidden when the buffer is on.
+    assert with_prefetch["mean_latency_us"] <= no_prefetch["mean_latency_us"]

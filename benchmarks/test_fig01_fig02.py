@@ -1,0 +1,34 @@
+"""Benches for Figure 1 (motivation breakdown) and Figure 2 (trends)."""
+
+from repro.experiments import fig01_motivation, fig02_trends
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_fig01_ycsb_breakdown(benchmark, record_result):
+    result = run_once(benchmark, fig01_motivation.run, QUICK)
+    record_result(result)
+    fault_fracs = result.column("fault_frac")
+    # The paper's trend: fault fraction grows monotonically with the ratio…
+    assert fault_fracs == sorted(fault_fracs)
+    assert fault_fracs[-1] > 0.4
+    assert fault_fracs[0] < 0.6 * fault_fracs[-1]
+    # …while compute time per op stays roughly flat.
+    compute_times = [
+        row["time_per_op_us"] * row["compute_frac"] for row in result.rows
+    ]
+    assert max(compute_times) < 2.0 * min(compute_times)
+
+
+def test_fig02_component_trends(benchmark, record_result):
+    result = run_once(benchmark, fig02_trends.run, QUICK)
+    record_result(result)
+    last = result.rows[-1]
+    assert last["year"] == 2019
+    # Disk: tens of millions of cycles; ULL SSD: tens of thousands.
+    assert last["disk_gap_cycles"] > 1e6
+    assert 1e4 < last["ssd_gap_cycles"] < 1e5
+    # The CPU-storage gap widened for decades before SSDs closed it.
+    disk_gaps = [row["disk_gap_cycles"] for row in result.rows]
+    assert max(disk_gaps) > 10 * disk_gaps[0]

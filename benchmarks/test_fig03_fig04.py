@@ -1,0 +1,43 @@
+"""Benches for Figure 3 (fault breakdown) and Figure 4 (ideal vs OSDP)."""
+
+import pytest
+
+from repro.experiments import fig03_fault_breakdown, fig04_pollution_osdp
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_fig03_single_fault_breakdown(benchmark, record_result):
+    result = run_once(benchmark, fig03_fault_breakdown.run, QUICK)
+    record_result(result)
+    by_phase = {row["phase"]: row for row in result.rows}
+    # The paper's phase fractions of device time, within a point or two.
+    assert by_phase["exception_walk"]["pct_of_device"] == pytest.approx(2.45, abs=0.6)
+    assert by_phase["io_submit"]["pct_of_device"] == pytest.approx(9.85, abs=1.0)
+    assert by_phase["interrupt_delivery"]["pct_of_device"] == pytest.approx(2.5, abs=0.6)
+    assert by_phase["io_completion"]["pct_of_device"] == pytest.approx(20.6, abs=2.0)
+    # Aggregate software overhead ≈ 76.3 % of the device time.
+    total = by_phase["TOTAL overhead (critical path)"]["pct_of_device"]
+    assert total == pytest.approx(76.3, abs=6.0)
+    # The measured fault is device + overhead.
+    measured = by_phase["measured mean fault latency"]
+    device = by_phase["device_io"]
+    assert measured["ns"] == pytest.approx(device["ns"] + by_phase[
+        "TOTAL overhead (critical path)"]["ns"], rel=0.05)
+
+
+def test_fig04_ideal_vs_osdp(benchmark, record_result):
+    result = run_once(benchmark, fig04_pollution_osdp.run, QUICK)
+    record_result(result)
+    throughput = result.row_where(metric="throughput (ops/s)")
+    # Paper: OSDP has less than half of ideal's throughput.
+    assert throughput["osdp_normalized"] < 0.5
+    ipc = result.row_where(metric="user-level IPC")
+    assert ipc["osdp_normalized"] < 0.97  # user IPC visibly lower
+    for event in ("l1d_miss", "l2_miss", "llc_miss", "branch_miss"):
+        row = result.row_where(metric=f"{event} / kinstr")
+        assert row["osdp_normalized"] > 1.1  # pollution raises miss rates
+    faults = result.row_where(metric="page faults")
+    assert faults["ideal"] == 0
+    assert faults["osdp"] > 0

@@ -1,0 +1,44 @@
+"""Benches for Figure 11 (single-miss breakdown/timeline) and Figure 12
+(latency vs thread count)."""
+
+import pytest
+
+from repro.experiments import fig11_single_fault, fig12_latency
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_fig11_single_miss(benchmark, record_result):
+    result = run_once(benchmark, fig11_single_fault.run, QUICK)
+    record_result(result)
+    before = result.row_where(row="before device I/O")
+    after = result.row_where(row="after device I/O")
+    # Paper: HWDP removes 2.38 µs before and 6.16 µs after the device I/O.
+    assert before["delta_ns"] == pytest.approx(2380.0, rel=0.15)
+    assert after["delta_ns"] == pytest.approx(6160.0, rel=0.15)
+    # Hardware times are nanoseconds, not microseconds.
+    assert before["hwdp_ns"] < 200.0
+    assert after["hwdp_ns"] < 100.0
+    # Timeline rows carry the paper's published constants.
+    command_write = result.row_where(row="timeline: NVMe command write")
+    assert command_write["hwdp_ns"] == pytest.approx(77.16)
+    doorbell = result.row_where(row="timeline: SQ doorbell")
+    assert doorbell["hwdp_ns"] == pytest.approx(1.60)
+    total = result.row_where(row="measured total fault latency")
+    assert total["hwdp_ns"] < total["osdp_ns"]
+
+
+def test_fig12_latency_vs_threads(benchmark, record_result):
+    result = run_once(benchmark, fig12_latency.run, QUICK)
+    record_result(result)
+    reductions = {row["threads"]: row["reduction_pct"] for row in result.rows}
+    # Paper: up to 37 % at one thread, 27 % at eight.
+    assert 30.0 < reductions[1] < 50.0
+    assert 15.0 < reductions[8] < 40.0
+    # The gain shrinks as parallelism rises.
+    assert reductions[8] < reductions[1]
+    for row in result.rows:
+        assert row["hwdp_us"] < row["osdp_us"]
+        # HWDP latency approaches the 10.9 µs device time.
+        assert row["hwdp_us"] < 17.0

@@ -1,0 +1,31 @@
+"""Bench for Figure 13: throughput gains across all workloads and threads."""
+
+from repro.experiments import fig13_throughput
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_fig13_throughput_gains(benchmark, record_result):
+    result = run_once(benchmark, fig13_throughput.run, QUICK)
+    record_result(result)
+
+    def gains(workload):
+        return [row["gain_pct"] for row in result.rows if row["workload"] == workload]
+
+    # Uniform-access workloads gain the most (paper: 29.4-57.1 %).
+    for workload in ("fio", "dbbench"):
+        assert min(gains(workload)) > 25.0, workload
+
+    # YCSB gains are positive but smaller (paper: 5.3-27.3 %)…
+    ycsb = [row for row in result.rows if row["workload"].startswith("ycsb")]
+    assert all(row["gain_pct"] > -5.0 for row in ycsb)
+    assert max(row["gain_pct"] for row in ycsb) < 45.0
+
+    # …with the read-only YCSB-C among the best and write-heavy A the worst.
+    best_c = max(gains("ycsb-c"))
+    assert best_c > 15.0
+    assert max(gains("ycsb-a")) < best_c
+
+    # FIO and DBBench beat every YCSB mix (uniform vs skewed access).
+    assert min(gains("fio")) > max(row["gain_pct"] for row in ycsb) - 10.0

@@ -1,0 +1,38 @@
+"""Benches for Figure 14 (pollution under HWDP) and Figure 15 (kernel cost)."""
+
+from repro.experiments import fig14_pollution_hwdp, fig15_kernel_cost
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_fig14_user_ipc_and_misses(benchmark, record_result):
+    result = run_once(benchmark, fig14_pollution_hwdp.run, QUICK)
+    record_result(result)
+    throughput = result.row_where(metric="throughput (ops/s)")
+    assert throughput["hwdp_normalized"] > 1.02
+    ipc = result.row_where(metric="user-level IPC")
+    # Paper: +7.0 % user-level IPC.
+    assert 1.02 < ipc["hwdp_normalized"] < 1.15
+    for event in ("l1d_miss", "l2_miss", "llc_miss", "branch_miss"):
+        row = result.row_where(metric=f"{event} / kinstr")
+        assert row["hwdp_normalized"] < 1.0  # misses decrease
+    hw_fraction = result.row_where(metric="fraction of misses handled in hardware")
+    # Paper: 99.9 % of faults replaced by hardware handling.
+    assert hw_fraction["hwdp"] > 0.99
+
+
+def test_fig15_kernel_instructions(benchmark, record_result):
+    result = run_once(benchmark, fig15_kernel_cost.run, QUICK)
+    record_result(result)
+    osdp = result.row_where(context="app threads (kernel)", mode="osdp")
+    hwdp = result.row_where(context="app threads (kernel)", mode="hwdp")
+    # The app threads' kernel context nearly vanishes under HWDP.
+    assert hwdp["instr_per_op"] < 0.15 * osdp["instr_per_op"]
+    # kpted + kpoold are visible but small.
+    kpted = result.row_where(context="kpted")
+    assert 0 < kpted["instr_per_op"] < osdp["instr_per_op"]
+    # Total kernel-instruction reduction ≈ the paper's 62.6 %.
+    total = result.row_where(context="TOTAL kernel instructions")
+    reduction = 1.0 - total["instr_per_op"] / osdp["instr_per_op"]
+    assert 0.45 < reduction < 0.80

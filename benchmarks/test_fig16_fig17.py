@@ -1,0 +1,34 @@
+"""Benches for Figure 16 (SMT co-location) and Figure 17 (SW-only vs HWDP)."""
+
+import pytest
+
+from repro.experiments import fig16_smt, fig17_sw_vs_hw
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_fig16_smt_colocation(benchmark, record_result):
+    result = run_once(benchmark, fig16_smt.run, QUICK)
+    record_result(result)
+    for row in result.rows:
+        # (a) FIO throughput improves substantially (paper: >= 1.72x).
+        assert row["fio_gain"] > 1.4
+        # (b) FIO retires more user instructions but fewer total
+        #     instructions (paper: total down by up to 42.4 %).
+        assert row["fio_user_instr_ratio"] > 1.0
+        assert row["fio_total_instr_ratio"] < 0.85
+        # (c) the SPEC sibling's user IPC improves in every case.
+        assert row["spec_ipc_gain"] > 1.0
+
+
+def test_fig17_sw_only_vs_hwdp(benchmark, record_result):
+    result = run_once(benchmark, fig17_sw_vs_hw.run, QUICK)
+    record_result(result)
+    by_device = {row["device"]: row for row in result.rows}
+    # Paper: 14 % on Z-SSD, ~44 % on Optane DC PMM.
+    assert by_device["z-ssd"]["reduction_pct"] == pytest.approx(14.0, abs=4.0)
+    assert by_device["optane-pmm"]["reduction_pct"] == pytest.approx(44.0, abs=6.0)
+    # The benefit grows monotonically as device time shrinks.
+    ordered = [by_device[d]["reduction_pct"] for d in ("z-ssd", "optane-ssd", "optane-pmm")]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,25 @@
+"""Benches for Table I (PTE semantics) and Table II (configuration)."""
+
+from repro.config import table2_configuration
+from repro.experiments import table1_semantics
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_table1_pte_semantics(benchmark, record_result):
+    result = run_once(benchmark, table1_semantics.run, QUICK)
+    record_result(result)
+    assert len(result.rows) == 6
+    assert all(row["matches"] for row in result.rows)
+
+
+def test_table2_configuration(benchmark):
+    config = benchmark.pedantic(table2_configuration, rounds=1, iterations=1)
+    print()
+    print("== table2: experimental configuration (paper Table II) ==")
+    for key, value in config.items():
+        print(f"  {key}: {value}")
+    assert config["CPU"].startswith("Intel Xeon E5-2640v3 2.8GHz")
+    assert "Z-SSD" in config["Storage devices"]
+    assert config["Memory"] == "DDR4 32GB"

@@ -1,0 +1,19 @@
+"""Bench for the tail-latency analysis (beyond the paper)."""
+
+from repro.experiments import tail_latency
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_tail_latency(benchmark, record_result):
+    result = run_once(benchmark, tail_latency.run, QUICK)
+    record_result(result)
+    for workload in ("fio", "ycsb-c"):
+        osdp = result.row_where(workload=workload, mode="osdp")
+        hwdp = result.row_where(workload=workload, mode="hwdp")
+        # HWDP improves both the mean and the tail…
+        assert hwdp["mean_us"] < osdp["mean_us"]
+        assert hwdp["p99_us"] < osdp["p99_us"]
+        # …and the p99 improvement is substantial (the OS jitter is gone).
+        assert hwdp["p99_reduction_pct"] > 20.0

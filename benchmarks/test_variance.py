@@ -1,0 +1,23 @@
+"""Bench for the seed-variance analysis (beyond the paper)."""
+
+from repro.experiments import variance
+from repro.experiments.runner import QUICK
+
+from conftest import run_once
+
+
+def test_seed_variance(benchmark, record_result):
+    result = run_once(benchmark, variance.run, QUICK)
+    record_result(result)
+    by_workload = {row["workload"]: row for row in result.rows}
+    # Across seeds the Figure 13 shape is stable:
+    # uniform workloads gain far more than the skewed read-only mix…
+    assert by_workload["fio"]["mean_gain_pct"] > 35.0
+    assert by_workload["dbbench"]["mean_gain_pct"] > 35.0
+    assert 10.0 < by_workload["ycsb-c"]["mean_gain_pct"] < 35.0
+    # …and every seed's gain stayed positive.
+    for row in result.rows:
+        assert row["min_pct"] > 0.0
+    # The skewed mix is far less noisy than the uniform ones (its ops count
+    # scales with the dataset, not the scale's op knob).
+    assert by_workload["ycsb-c"]["stddev_pct"] < by_workload["fio"]["stddev_pct"]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Keeping LBA-augmented PTEs coherent under a copy-on-write file system.
+
+The paper's §IV-B corner case: a CoW or log-structured file system (btrfs,
+ZFS, F2FS) moves file blocks when they are rewritten.  A non-present
+LBA-augmented PTE caches the *old* block address — so the kernel marks
+fast-mmap'ed files and updates every affected PTE whenever the file system
+remaps a block.  This example rewrites blocks of a fast-mmap'ed file and
+shows the PTEs tracking the moves, then faults a remapped page to prove the
+SMU reads the *new* location.
+
+Run:  python examples/cow_filesystem.py
+"""
+
+from repro.config import PagingMode, SystemConfig
+from repro.core.system import build_system
+from repro.mem.address import PAGE_SHIFT
+from repro.os.vma import MmapFlags
+from repro.vm import decode_pte
+
+
+def main() -> None:
+    system = build_system(SystemConfig(mode=PagingMode.HWDP))
+    process = system.create_process("cow-demo")
+    thread = system.workload_thread(process, index=0)
+    fs = system.kernel.fs
+    file = fs.create_file("btrfs-like.dat", num_pages=8)
+
+    state = {}
+
+    def body():
+        vma = yield from system.kernel.sys_mmap(
+            thread, file, file.num_pages, MmapFlags.FASTMAP
+        )
+        state["vma"] = vma
+        # Touch page 0 so one page is resident; pages 1..7 stay
+        # LBA-augmented and non-present.
+        yield from thread.mem_access(vma.start)
+
+    setup = system.spawn(body(), "setup")
+    while not setup.finished:
+        system.sim.step()
+    vma = state["vma"]
+    table = process.page_table
+
+    print("fast-mmap'ed file: PTE LBAs before any rewrite")
+    for page in range(4):
+        pte = decode_pte(table.get_pte(vma.start + (page << PAGE_SHIFT)))
+        where = f"resident (PFN {pte.pfn})" if pte.present else f"LBA {pte.lba}"
+        print(f"  page {page}: {where}")
+
+    print("\nfile system rewrites blocks 1 and 2 (CoW: new locations)...")
+    for page in (1, 2):
+        old = file.lba_of_page(page)
+        new = fs.remap_page(file, page)
+        print(f"  page {page}: LBA {old} -> {new}")
+
+    print("\nPTEs after the remap hook ran:")
+    for page in range(4):
+        pte = decode_pte(table.get_pte(vma.start + (page << PAGE_SHIFT)))
+        where = f"resident (PFN {pte.pfn})" if pte.present else f"LBA {pte.lba}"
+        marker = "  <- updated in place" if page in (1, 2) and not pte.present else ""
+        print(f"  page {page}: {where}{marker}")
+    updates = system.kernel.counters["remap.pte_updates"]
+    print(f"\nkernel updated {updates:.0f} LBA-augmented PTE(s) (paper §IV-B)")
+
+    # Fault a remapped page: the SMU must fetch from the NEW location.
+    fetched = {}
+
+    def fault_remapped():
+        yield from thread.mem_access(vma.start + (1 << PAGE_SHIFT))
+        fetched["lba"] = file.lba_of_page(1)
+
+    proc = system.spawn(fault_remapped(), "fault")
+    while not proc.finished:
+        system.sim.step()
+    print(
+        f"page 1 faulted in through the SMU from its new block "
+        f"(LBA {fetched['lba']}); reads issued: {system.device.reads_completed}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Semi-external graph analytics: BFS over a memory-mapped adjacency file.
+
+The paper's introduction names graph analytics among the applications that
+mmap large datasets and depend on demand-paging latency (its citations:
+Pearce et al.'s semi-external traversals).  Frontier expansion touches an
+unpredictable set of adjacency pages — no prefetcher helps — so every page
+miss sits on the traversal's critical path.
+
+Run:  python examples/graph_analytics.py [--vertices 6000]
+"""
+
+import argparse
+
+from repro.analysis import summarize
+from repro.config import PagingMode, SystemConfig, MemoryConfig
+from repro.core.system import build_system
+from repro.workloads.graph import GraphBFS
+
+
+def run_bfs(mode: PagingMode, vertices: int):
+    system = build_system(
+        SystemConfig(mode=mode, memory=MemoryConfig(total_frames=2048))
+    )
+    driver = GraphBFS(num_vertices=vertices, max_vertices_visited=250)
+    driver.prepare(system, num_threads=2)
+    elapsed = system.run(driver.launch(system))
+    return system, driver, elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=6000)
+    args = parser.parse_args()
+
+    print(f"BFS over a {args.vertices}-vertex power-law graph, 2 threads\n")
+    rows = {}
+    for mode in (PagingMode.OSDP, PagingMode.HWDP):
+        system, driver, elapsed = run_bfs(mode, args.vertices)
+        report = summarize(system, driver, elapsed)
+        rows[mode] = (elapsed, report, driver)
+
+    print(f"{'metric':30s}  {'OSDP':>12s}  {'HWDP':>12s}")
+    osdp_elapsed, osdp_report, osdp_driver = rows[PagingMode.OSDP]
+    hwdp_elapsed, hwdp_report, hwdp_driver = rows[PagingMode.HWDP]
+    for label, osdp_value, hwdp_value in (
+        ("traversal time (ms)", osdp_elapsed / 1e6, hwdp_elapsed / 1e6),
+        ("vertices expanded / ms",
+         osdp_report.operations / (osdp_elapsed / 1e6),
+         hwdp_report.operations / (hwdp_elapsed / 1e6)),
+        ("mean expansion latency (us)",
+         osdp_driver.op_latency.mean / 1e3, hwdp_driver.op_latency.mean / 1e3),
+        ("kernel instructions",
+         osdp_report.kernel_instructions, hwdp_report.kernel_instructions),
+    ):
+        print(f"{label:30s}  {osdp_value:12,.2f}  {hwdp_value:12,.2f}")
+    print(
+        f"\nBFS finishes {osdp_elapsed / hwdp_elapsed:.2f}x faster with "
+        "hardware demand paging — frontier expansion is nothing but"
+        "\ndependent page misses, the pattern the paper's intro motivates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Hardware demand paging for anonymous memory (the paper's §V extension).
+
+An application allocates a heap larger than physical memory.  First touches
+of anonymous pages carry the reserved LBA constant, so the SMU zero-fills
+them without any I/O; once memory fills, evicted heap pages are swapped
+out with their swap LBA recorded in the PTE — and a later touch swaps them
+back in entirely in hardware.
+
+Run:  python examples/large_heap.py
+"""
+
+from dataclasses import replace
+
+from repro.config import MemoryConfig, PagingMode, SystemConfig
+from repro.core.system import build_system
+from repro.mem.address import PAGE_SHIFT
+from repro.os.vma import MmapFlags
+
+HEAP_PAGES = 1536
+MEMORY_FRAMES = 1024
+
+
+def run(mode: PagingMode) -> dict:
+    config = SystemConfig(
+        mode=mode, memory=MemoryConfig(total_frames=MEMORY_FRAMES)
+    )
+    config = replace(
+        config,
+        control_plane=replace(
+            config.control_plane,
+            kpted_period_ns=200_000.0,
+            kpoold_period_ns=50_000.0,
+        ),
+    )
+    system = build_system(config)
+    process = system.create_process("bigheap")
+    thread = system.workload_thread(process, index=0)
+    stats = {}
+
+    def body():
+        heap = yield from system.kernel.sys_mmap(
+            thread, None, HEAP_PAGES, MmapFlags.FASTMAP
+        )
+        # Phase 1: first-touch the whole heap (writes, so pages are dirty).
+        start = system.sim.now
+        for page in range(HEAP_PAGES):
+            yield from thread.mem_access(heap.start + (page << PAGE_SHIFT), True)
+        stats["first_touch_us_per_page"] = (system.sim.now - start) / HEAP_PAGES / 1000
+
+        # Phase 2: revisit early pages — they were swapped out under pressure.
+        start = system.sim.now
+        for page in range(0, 256):
+            yield from thread.mem_access(heap.start + (page << PAGE_SHIFT))
+        stats["swapin_us_per_page"] = (system.sim.now - start) / 256 / 1000
+
+    system.run([system.spawn(body(), "bigheap")])
+    kernel = system.kernel
+    stats["swapped_out"] = kernel.counters["reclaim.anon_swapped"]
+    stats["zero_fills"] = (
+        system.smu.anon_zero_fills
+        if system.smu is not None
+        else kernel.counters["fault.minor_anon"]
+    )
+    stats["kernel_instr"] = thread.perf.kernel_instructions
+    return stats
+
+
+def main() -> None:
+    print(
+        f"Anonymous heap of {HEAP_PAGES} pages on a {MEMORY_FRAMES}-frame "
+        "machine (heap 1.5x memory)\n"
+    )
+    print(f"{'metric':26s}  {'OSDP':>10s}  {'HWDP':>10s}")
+    rows = {mode: run(mode) for mode in (PagingMode.OSDP, PagingMode.HWDP)}
+    for key, label in (
+        ("first_touch_us_per_page", "first touch (us/page)"),
+        ("swapin_us_per_page", "revisit/swap-in (us/page)"),
+        ("zero_fills", "zero-filled pages"),
+        ("swapped_out", "pages swapped out"),
+        ("kernel_instr", "kernel instructions"),
+    ):
+        print(f"{label:26s}  {rows[PagingMode.OSDP][key]:10,.1f}  "
+              f"{rows[PagingMode.HWDP][key]:10,.1f}")
+    print(
+        "\nWith the §V extension, first touches are hardware zero-fills"
+        "\n(no exception, no I/O) and swap-ins run at device speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: fault one page through each demand-paging implementation.
+
+Builds three simulated machines — conventional OS demand paging (OSDP), the
+paper's software-emulated SMU (SWDP), and hardware-based demand paging
+(HWDP) — maps a file with the fast-mmap flag, touches the same pages on
+each, and prints where the time went.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import PagingMode, SystemConfig
+from repro.core.system import build_system
+from repro.mem.address import PAGE_SHIFT
+from repro.os.vma import MmapFlags
+
+PAGES_TO_TOUCH = 16
+
+
+def run_mode(mode: PagingMode) -> dict:
+    """Build a machine, mmap a file, touch pages; return what we measured."""
+    system = build_system(SystemConfig(mode=mode))
+    process = system.create_process("quickstart")
+    thread = system.workload_thread(process, index=0)
+    file = system.kernel.fs.create_file("demo.dat", num_pages=256)
+
+    measurements = {}
+
+    def body():
+        vma = yield from system.kernel.sys_mmap(
+            thread, file, file.num_pages, MmapFlags.FASTMAP
+        )
+        # Measure only the fault path: drop the mmap-population cost.
+        thread.perf.reset()
+        latencies = []
+        for page in range(PAGES_TO_TOUCH):
+            before = system.sim.now
+            yield from thread.mem_access(vma.start + (page << PAGE_SHIFT))
+            latencies.append(system.sim.now - before)
+        # Touch page 0 again: now a TLB hit, effectively free.
+        before = system.sim.now
+        yield from thread.mem_access(vma.start)
+        measurements["warm_ns"] = system.sim.now - before
+        measurements["cold_ns"] = sum(latencies) / len(latencies)
+
+    system.run([system.spawn(body(), "quickstart")])
+    measurements["kernel_instr"] = thread.perf.kernel_instructions
+    measurements["translations"] = dict(thread.perf.translations)
+    return measurements
+
+
+def main() -> None:
+    print(f"Touching {PAGES_TO_TOUCH} cold pages of a fast-mmap'ed file\n")
+    print(f"{'mode':6s}  {'cold miss (us)':>14s}  {'warm hit (ns)':>13s}  "
+          f"{'kernel instr':>12s}  handled by")
+    for mode in (PagingMode.OSDP, PagingMode.SWDP, PagingMode.HWDP):
+        m = run_mode(mode)
+        kinds = ", ".join(
+            kind for kind in m["translations"] if kind not in ("tlb-hit", "walk")
+        )
+        print(
+            f"{mode.value:6s}  {m['cold_ns'] / 1000.0:14.2f}  "
+            f"{m['warm_ns']:13.1f}  {m['kernel_instr']:12.0f}  {kinds}"
+        )
+    print(
+        "\nHWDP handles the miss in hardware: no exception, no kernel"
+        "\ninstructions on the fault path, and latency ~= the device time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — reproduction of *A Case for Hardware-Based Demand Paging* (ISCA 2020).
+
+A behavioural full-system simulator for hardware-based demand paging:
+LBA-augmented page tables, the Storage Management Unit (SMU), a Linux-like
+OS model (the OSDP baseline and the HWDP control plane), NVMe device models,
+and the paper's workloads (FIO, DBBench/RocksDB stand-in, YCSB, SPEC-like).
+
+Public entry points:
+
+* :func:`repro.core.system.build_system` — construct a simulated machine in
+  OSDP / SWDP / HWDP mode.
+* :mod:`repro.workloads` — workload drivers.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Post-run analysis: structured run reports and A/B comparisons."""
+
+from repro.analysis.compare import MetricDelta, compare_runs, comparison_text
+from repro.analysis.phases import (
+    PhaseBreakdown,
+    aggregate_phases,
+    enable_tracing,
+    merge_traces,
+)
+from repro.analysis.report import LatencySummary, RunReport, summarize
+
+__all__ = [
+    "RunReport",
+    "LatencySummary",
+    "summarize",
+    "MetricDelta",
+    "compare_runs",
+    "comparison_text",
+    "PhaseBreakdown",
+    "aggregate_phases",
+    "merge_traces",
+    "enable_tracing",
+]

@@ -1,0 +1,88 @@
+"""A/B comparison of two run reports (typically OSDP vs HWDP).
+
+The paper's evaluation is a long series of exactly this comparison; the
+helper normalises the challenger against the baseline and renders the
+side-by-side table the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.report import RunReport
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline value, challenger value, and ratio."""
+
+    name: str
+    baseline: float
+    challenger: float
+    #: challenger / baseline (None when the baseline is zero).
+    ratio: Optional[float]
+    #: True when larger is better for this metric.
+    higher_is_better: bool
+
+    @property
+    def improvement_pct(self) -> Optional[float]:
+        """Positive = the challenger improved on the baseline."""
+        if self.ratio is None:
+            return None
+        if self.higher_is_better:
+            return 100.0 * (self.ratio - 1.0)
+        return 100.0 * (1.0 - self.ratio)
+
+
+#: (attribute-path, display name, higher_is_better)
+_METRICS = [
+    ("throughput_ops_per_sec", "throughput (ops/s)", True),
+    ("op_latency.mean_us", "mean op latency (us)", False),
+    ("op_latency.p99_us", "p99 op latency (us)", False),
+    ("user_ipc", "user IPC", True),
+    ("kernel_instructions", "kernel instructions", False),
+]
+
+
+def _resolve(report: RunReport, path: str) -> Optional[float]:
+    value = report
+    for part in path.split("."):
+        if value is None:
+            return None
+        value = getattr(value, part)
+    return float(value) if value is not None else None
+
+
+def compare_runs(baseline: RunReport, challenger: RunReport) -> List[MetricDelta]:
+    """Compute the standard metric deltas between two reports."""
+    deltas = []
+    for path, name, higher_is_better in _METRICS:
+        base = _resolve(baseline, path)
+        chal = _resolve(challenger, path)
+        if base is None or chal is None:
+            continue
+        ratio = chal / base if base else None
+        deltas.append(MetricDelta(name, base, chal, ratio, higher_is_better))
+    return deltas
+
+
+def comparison_text(
+    baseline: RunReport, challenger: RunReport, labels: Dict[str, str] = None
+) -> str:
+    """Render the comparison as an aligned text table."""
+    labels = labels or {"baseline": baseline.mode, "challenger": challenger.mode}
+    deltas = compare_runs(baseline, challenger)
+    header = (
+        f"{'metric':26s}  {labels['baseline']:>12s}  "
+        f"{labels['challenger']:>12s}  {'improvement':>11s}"
+    )
+    lines = [header, "-" * len(header)]
+    for delta in deltas:
+        improvement = delta.improvement_pct
+        rendered = f"{improvement:+10.1f}%" if improvement is not None else "        n/a"
+        lines.append(
+            f"{delta.name:26s}  {delta.baseline:12,.2f}  "
+            f"{delta.challenger:12,.2f}  {rendered}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Measured kernel-phase breakdowns from thread phase traces.
+
+Enable tracing by giving a thread a list (``thread.phase_trace = []``);
+every :meth:`ThreadContext.kernel_phase` then records
+``(time_ns, phase_name, duration_ns)``.  This module aggregates those raw
+events into the per-phase breakdown the paper's Figure 3 draws — measured
+from a live run rather than read off the cost table, so it also captures
+emergent costs (direct reclaim, refills, syscall population) that the
+static table does not show.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+PhaseEvent = Tuple[float, str, float]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Aggregated kernel-phase costs."""
+
+    totals_ns: Dict[str, float]
+    counts: Dict[str, int]
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.totals_ns.values())
+
+    def mean_ns(self, phase: str) -> float:
+        count = self.counts.get(phase, 0)
+        return self.totals_ns.get(phase, 0.0) / count if count else 0.0
+
+    def fraction(self, phase: str) -> float:
+        total = self.total_ns
+        return self.totals_ns.get(phase, 0.0) / total if total else 0.0
+
+    def per_occurrence(self) -> Dict[str, float]:
+        """phase → mean ns per occurrence."""
+        return {phase: self.mean_ns(phase) for phase in self.totals_ns}
+
+    def to_text(self, title: str = "kernel phase breakdown") -> str:
+        lines = [f"== {title} =="]
+        width = max((len(name) for name in self.totals_ns), default=10)
+        for phase, total in sorted(
+            self.totals_ns.items(), key=lambda item: -item[1]
+        ):
+            lines.append(
+                f"{phase:{width}s}  total {total:12,.0f} ns  "
+                f"x{self.counts[phase]:<6d} mean {self.mean_ns(phase):9,.1f} ns  "
+                f"{100 * self.fraction(phase):5.1f}%"
+            )
+        lines.append(f"{'TOTAL':{width}s}  total {self.total_ns:12,.0f} ns")
+        return "\n".join(lines)
+
+
+def aggregate_phases(events: Iterable[PhaseEvent]) -> PhaseBreakdown:
+    """Aggregate raw ``(time, name, duration)`` events by phase name."""
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for _, name, duration in events:
+        totals[name] += duration
+        counts[name] += 1
+    return PhaseBreakdown(dict(totals), dict(counts))
+
+
+def merge_traces(threads) -> List[PhaseEvent]:
+    """Concatenate the phase traces of many threads (time-sorted)."""
+    events: List[PhaseEvent] = []
+    for thread in threads:
+        if thread.phase_trace:
+            events.extend(thread.phase_trace)
+    return sorted(events)
+
+
+def enable_tracing(threads) -> None:
+    """Turn phase tracing on for every given thread."""
+    for thread in threads:
+        if thread.phase_trace is None:
+            thread.phase_trace = []

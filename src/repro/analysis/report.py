@@ -1,0 +1,188 @@
+"""Run reports: one structured summary of a measured simulation run.
+
+A :class:`RunReport` snapshots everything a user typically wants after
+driving a workload on a :class:`repro.core.system.System`:
+
+* throughput and per-operation latency statistics (mean/p50/p99/max);
+* aggregated perf counters (user/kernel instructions and cycles, user IPC,
+  stall vs blocked cycles, miss events per kilo-instruction);
+* translation outcomes (TLB hits, walks, hardware misses, OS faults) and
+  per-kind miss-handling latencies;
+* kernel counters (faults, reclaim, refills, syncs) and device statistics.
+
+Build one with :func:`summarize`, render with :meth:`RunReport.to_text`,
+or diff two with :func:`repro.analysis.compare.compare_runs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cpu.perf import PerfCounters, aggregate
+from repro.sim import StatAccumulator
+
+
+@dataclass
+class LatencySummary:
+    """Mean and tail statistics of one latency population (µs)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p99_us: float
+    max_us: float
+
+    @classmethod
+    def from_stat(cls, stat: StatAccumulator) -> "LatencySummary":
+        return cls(
+            count=stat.count,
+            mean_us=stat.mean / 1000.0,
+            p50_us=stat.percentile(50) / 1000.0,
+            p99_us=stat.percentile(99) / 1000.0,
+            max_us=(stat.max or 0.0) / 1000.0,
+        )
+
+
+@dataclass
+class RunReport:
+    """Snapshot of one measured run."""
+
+    mode: str
+    elapsed_ns: float
+    operations: int
+    op_latency: Optional[LatencySummary]
+    user_ipc: float
+    user_instructions: float
+    kernel_instructions: float
+    stall_cycles: float
+    blocked_cycles: float
+    translations: Dict[str, int]
+    miss_latency: Dict[str, LatencySummary]
+    misses_per_kinstr: Dict[str, float]
+    kernel_counters: Dict[str, float]
+    device_reads: int
+    device_writes: int
+    device_read_time: Optional[LatencySummary]
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_ops_per_sec(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.operations / (self.elapsed_ns / 1e9)
+
+    @property
+    def hardware_miss_fraction(self) -> float:
+        """Fraction of page misses handled without an exception."""
+        hw = self.translations.get("hw-miss", 0)
+        sw = (
+            self.translations.get("os-fault", 0)
+            + self.translations.get("hw-fallback-fault", 0)
+        )
+        total = hw + sw
+        return hw / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        lines = [
+            f"== run report ({self.mode}) ==",
+            f"elapsed: {self.elapsed_ns / 1e6:.3f} ms   operations: {self.operations}"
+            f"   throughput: {self.throughput_ops_per_sec:,.0f} ops/s",
+        ]
+        if self.op_latency is not None and self.op_latency.count:
+            latency = self.op_latency
+            lines.append(
+                f"op latency (us): mean {latency.mean_us:.2f}  p50 {latency.p50_us:.2f}"
+                f"  p99 {latency.p99_us:.2f}  max {latency.max_us:.2f}"
+            )
+        lines.append(
+            f"user IPC: {self.user_ipc:.3f}   instructions: "
+            f"{self.user_instructions:,.0f} user / {self.kernel_instructions:,.0f} kernel"
+        )
+        lines.append(
+            f"cycles out of execution: {self.stall_cycles:,.0f} stalled / "
+            f"{self.blocked_cycles:,.0f} blocked"
+        )
+        if self.translations:
+            parts = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.translations.items())
+            )
+            lines.append(f"translations: {parts}")
+        for kind, latency in sorted(self.miss_latency.items()):
+            lines.append(
+                f"  {kind}: mean {latency.mean_us:.2f} us  p99 {latency.p99_us:.2f} us"
+                f"  (n={latency.count})"
+            )
+        if self.misses_per_kinstr:
+            parts = ", ".join(
+                f"{event}={rate:.2f}" for event, rate in sorted(self.misses_per_kinstr.items())
+            )
+            lines.append(f"user miss events /kinstr: {parts}")
+        lines.append(
+            f"device: {self.device_reads} reads, {self.device_writes} writes"
+            + (
+                f", read device time mean {self.device_read_time.mean_us:.2f} us"
+                if self.device_read_time and self.device_read_time.count
+                else ""
+            )
+        )
+        interesting = {
+            key: value
+            for key, value in sorted(self.kernel_counters.items())
+            if value and key.split(".")[0] in ("fault", "reclaim", "refill", "sync", "smu")
+        }
+        for key, value in interesting.items():
+            lines.append(f"  {key}: {value:,.0f}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def summarize(
+    system: Any,
+    threads: Any,
+    elapsed_ns: float,
+    op_latency: Optional[StatAccumulator] = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from a finished run.
+
+    ``threads`` may be a list of :class:`ThreadContext` or a workload
+    driver (anything with ``.threads`` and optionally ``.op_latency`` /
+    ``.total_operations``).
+    """
+    if hasattr(threads, "threads"):
+        driver = threads
+        thread_list = driver.threads
+        if op_latency is None and hasattr(driver, "op_latency"):
+            op_latency = driver.op_latency
+    else:
+        thread_list = list(threads)
+
+    perf: PerfCounters = aggregate(thread.perf for thread in thread_list)
+    miss_latency = {
+        kind: LatencySummary.from_stat(stat)
+        for kind, stat in perf.miss_latency.items()
+    }
+    events = {
+        event: perf.misses_per_kinstr(event) for event in perf.miss_events
+    }
+    return RunReport(
+        mode=system.config.mode.value,
+        elapsed_ns=elapsed_ns,
+        operations=perf.operations,
+        op_latency=LatencySummary.from_stat(op_latency) if op_latency else None,
+        user_ipc=perf.user_ipc,
+        user_instructions=perf.user_instructions,
+        kernel_instructions=perf.kernel_instructions,
+        stall_cycles=perf.stall_cycles,
+        blocked_cycles=perf.blocked_cycles,
+        translations=dict(perf.translations),
+        miss_latency=miss_latency,
+        misses_per_kinstr=events,
+        kernel_counters=system.kernel.counters.as_dict(),
+        device_reads=system.device.reads_completed,
+        device_writes=system.device.writes_completed,
+        device_read_time=LatencySummary.from_stat(system.device.read_device_time),
+    )

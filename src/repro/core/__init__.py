@@ -1,0 +1,28 @@
+"""The paper's contribution: SMU, PMSHR, free-page queue, area model, and
+the system builder that assembles OSDP / SWDP / HWDP machines."""
+
+from repro.core.area import AreaBreakdown, estimate_area
+from repro.core.free_page_queue import FreePageQueue, PopResult
+from repro.core.host_controller import QueueDescriptor, SmuHostController
+from repro.core.page_table_updater import PageTableUpdater
+from repro.core.pmshr import Pmshr, PmshrEntry
+from repro.core.prefetcher import SequentialReadahead
+from repro.core.smu import Smu, SmuComplex
+from repro.core.system import System, build_system
+
+__all__ = [
+    "Pmshr",
+    "PmshrEntry",
+    "FreePageQueue",
+    "PopResult",
+    "SmuHostController",
+    "QueueDescriptor",
+    "PageTableUpdater",
+    "Smu",
+    "SmuComplex",
+    "SequentialReadahead",
+    "System",
+    "build_system",
+    "AreaBreakdown",
+    "estimate_area",
+]

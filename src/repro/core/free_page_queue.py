@@ -1,0 +1,119 @@
+"""The SMU's free-page queue and prefetch buffer (paper §III-C).
+
+A circular queue *in memory* holding ``<PFN, DMA address>`` pairs with a
+single producer (the kernel's refill routine / kpoold) and a single consumer
+(the SMU's free-page fetcher), so no synchronisation is needed.  The
+hardware hides the memory round-trip of reading queue entries by eagerly
+prefetching a few entries into an SRAM buffer inside the SMU; a pop that
+hits the prefetch buffer is free, a pop from a cold buffer pays one memory
+read (``free_page_fetch_ns``).
+
+The same object backs the SW-emulated SMU (there the "prefetch buffer"
+distinction does not apply — software always reads memory, and that cost is
+inside the emulation-phase constants).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import SmuError
+from repro.sim import Counter
+
+
+class FreePageQueue:
+    """Bounded single-producer/single-consumer free-frame queue."""
+
+    def __init__(self, depth: int, prefetch_entries: int = 16):
+        if depth < 1:
+            raise SmuError("free page queue depth must be >= 1")
+        if prefetch_entries < 0:
+            raise SmuError("prefetch buffer cannot be negative")
+        self.depth = depth
+        self.prefetch_entries = prefetch_entries
+        self._queue: Deque[int] = deque()
+        self._prefetch: Deque[int] = deque()
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Frames available to the consumer (queue + prefetch buffer)."""
+        return len(self._queue) + len(self._prefetch)
+
+    @property
+    def space(self) -> int:
+        return self.depth - len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.occupancy == 0
+
+    # ------------------------------------------------------------------
+    # producer side (kernel: kpoold or synchronous refill)
+    # ------------------------------------------------------------------
+    def refill(self, pfns: List[int]) -> int:
+        """Producer appends frames; returns how many were accepted."""
+        accepted = 0
+        for pfn in pfns:
+            if len(self._queue) >= self.depth:
+                break
+            self._queue.append(pfn)
+            accepted += 1
+        self.stats.add("refilled", accepted)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # consumer side (SMU free-page fetcher)
+    # ------------------------------------------------------------------
+    def pop(self) -> "PopResult":
+        """Consume one frame.
+
+        Returns a :class:`PopResult`: ``pfn`` is None when the queue is
+        empty (the SMU then fails the miss back to the OS, §III-C), and
+        ``from_prefetch`` says whether the pop was latency-hidden.
+        """
+        if self._prefetch:
+            pfn = self._prefetch.popleft()
+            self.stats.add("pop_prefetched")
+            self._refill_prefetch()
+            return PopResult(pfn, from_prefetch=True)
+        if self._queue:
+            pfn = self._queue.popleft()
+            self.stats.add("pop_cold")
+            self._refill_prefetch()
+            return PopResult(pfn, from_prefetch=False)
+        self.stats.add("pop_empty")
+        return PopResult(None, from_prefetch=False)
+
+    def _refill_prefetch(self) -> None:
+        """Eagerly stage entries into the SRAM buffer (hidden by device time)."""
+        while self._queue and len(self._prefetch) < self.prefetch_entries:
+            self._prefetch.append(self._queue.popleft())
+
+    def prefetch_now(self) -> None:
+        """Explicitly trigger the eager prefetch (e.g. during device I/O)."""
+        self._refill_prefetch()
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[int]:
+        """Remove every frame (teardown path); returns them for freeing."""
+        frames = list(self._prefetch) + list(self._queue)
+        self._prefetch.clear()
+        self._queue.clear()
+        return frames
+
+
+class PopResult:
+    """Outcome of one :meth:`FreePageQueue.pop`."""
+
+    __slots__ = ("pfn", "from_prefetch")
+
+    def __init__(self, pfn: Optional[int], from_prefetch: bool):
+        self.pfn = pfn
+        self.from_prefetch = from_prefetch
+
+    @property
+    def empty(self) -> bool:
+        return self.pfn is None

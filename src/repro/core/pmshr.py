@@ -1,0 +1,121 @@
+"""Page-Miss Status Holding Registers (PMSHR, paper §III-C).
+
+A fully-associative CAM keyed by PTE address — the unique identifier of a
+virtual page — that coalesces duplicate page-miss requests exactly like an
+MSHR coalesces cache misses.  The entry count bounds the SMU's concurrent
+outstanding I/Os (the paper picks 32 empirically).
+
+The same structure backs the paper's software-emulated SMU, where it lives
+in a memory table instead of registers (and therefore suffers cache-line
+contention, modelled by the SWDP cost table, not here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SmuError
+from repro.sim import Completion, Counter, Signal, Simulator
+
+
+class PmshrEntry:
+    """One outstanding page miss."""
+
+    __slots__ = (
+        "index",
+        "pte_addr",
+        "pmd_entry_addr",
+        "pud_entry_addr",
+        "device_id",
+        "lba",
+        "pfn",
+        "completion",
+        "allocated_at",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        pte_addr: int,
+        pmd_entry_addr: Optional[int],
+        pud_entry_addr: Optional[int],
+        device_id: int,
+        lba: int,
+        sim: Simulator,
+    ):
+        self.index = index
+        self.pte_addr = pte_addr
+        self.pmd_entry_addr = pmd_entry_addr
+        self.pud_entry_addr = pud_entry_addr
+        self.device_id = device_id
+        self.lba = lba
+        #: Filled in by the free-page fetcher (§III-C step 4).
+        self.pfn: Optional[int] = None
+        #: Fired with the final PFN when the miss completes — the paper's
+        #: "broadcasts a completion message with the PTE address and value".
+        self.completion = Completion(sim, f"pmshr-{index}")
+        self.allocated_at = sim.now
+
+
+class Pmshr:
+    """The CAM: lookup by PTE address, allocate, release."""
+
+    def __init__(self, sim: Simulator, entries: int):
+        if entries < 1:
+            raise SmuError("PMSHR needs at least one entry")
+        self.sim = sim
+        self.capacity = entries
+        self._by_pte_addr: Dict[int, PmshrEntry] = {}
+        self._free_indices = list(range(entries))[::-1]
+        #: Broadcast when a slot frees up (a full PMSHR retries on this).
+        self.slot_freed = Signal(sim, "pmshr-slot-freed")
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._by_pte_addr)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._by_pte_addr) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def lookup(self, pte_addr: int) -> Optional[PmshrEntry]:
+        """CAM search — a hit means an identical miss is already in flight."""
+        entry = self._by_pte_addr.get(pte_addr)
+        if entry is not None:
+            self.stats.add("coalesced")
+        return entry
+
+    def allocate(
+        self,
+        pte_addr: int,
+        pmd_entry_addr: Optional[int],
+        pud_entry_addr: Optional[int],
+        device_id: int,
+        lba: int,
+    ) -> Optional[PmshrEntry]:
+        """Claim a free entry; returns None when the CAM is full."""
+        if pte_addr in self._by_pte_addr:
+            raise SmuError(f"PMSHR double allocation for PTE {pte_addr:#x}")
+        if not self._free_indices:
+            self.stats.add("full")
+            return None
+        index = self._free_indices.pop()
+        entry = PmshrEntry(
+            index, pte_addr, pmd_entry_addr, pud_entry_addr, device_id, lba, self.sim
+        )
+        self._by_pte_addr[pte_addr] = entry
+        self.stats.add("allocated")
+        return entry
+
+    def release(self, entry: PmshrEntry, pfn: Optional[int]) -> None:
+        """Broadcast completion (PFN, or None for failure) and free the slot."""
+        stored = self._by_pte_addr.pop(entry.pte_addr, None)
+        if stored is not entry:
+            raise SmuError(f"PMSHR release of unknown entry {entry.pte_addr:#x}")
+        self._free_indices.append(entry.index)
+        entry.completion.fire(pfn)
+        self.stats.add("released")
+        self.slot_freed.fire()

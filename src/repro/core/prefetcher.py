@@ -1,0 +1,116 @@
+"""SMU sequential readahead — the paper's §V "Prefetching Support".
+
+The paper leaves prefetching in the SMU as future work; this module
+implements the natural design within the published architecture:
+
+* the page-miss handler remembers the PTE address of the previous demand
+  miss; two misses on *adjacent* PTEs (addresses 8 bytes apart, i.e.
+  consecutive virtual pages in one leaf table) flag a sequential stream;
+* on a sequential miss, the prefetcher walks the next ``degree`` PTEs of
+  the same leaf table (pure hardware: contiguous entry addresses), and for
+  each one that is non-resident LBA-augmented it allocates a PMSHR entry
+  and a free frame and issues the read;
+* completions reuse the normal machinery: the page-table updater installs
+  the frame with the LBA bit kept set, and the PMSHR broadcast wakes any
+  demand miss that arrived meanwhile (coalescing makes prefetch hits free).
+
+Prefetches never cross a leaf-table boundary (the hardware only has entry
+*addresses*, and the next table's address is unknown), never consume the
+last free pages, and are dropped — not queued — when the PMSHR is busy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.mem.address import PAGE_SIZE
+from repro.sim import Counter, Delay, WaitSignal, spawn
+from repro.vm.pte import PteStatus, decode_pte, is_anon_first_touch
+
+
+class SequentialReadahead:
+    """The SMU's optional readahead block."""
+
+    def __init__(self, smu: Any, degree: int):
+        self.smu = smu
+        self.degree = degree
+        self._last_demand_pte_addr: Optional[int] = None
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    def observe_demand_miss(
+        self, walk: Any, decoded: Any, page_table: Any, core_id: int = 0
+    ) -> None:
+        """Called by the SMU on every demand miss it accepts."""
+        previous = self._last_demand_pte_addr
+        self._last_demand_pte_addr = walk.pte_addr
+        if self.degree <= 0:
+            return
+        if previous is None or walk.pte_addr - previous != 8:
+            return
+        self.stats.add("sequential_detected")
+        self._issue_prefetches(walk, page_table, core_id)
+
+    # ------------------------------------------------------------------
+    def _issue_prefetches(self, walk: Any, page_table: Any, core_id: int) -> None:
+        smu = self.smu
+        free_queue = smu.kernel.free_queue_for(core_id)
+        table_end = (walk.pte_addr & ~(PAGE_SIZE - 1)) + PAGE_SIZE
+        for step in range(1, self.degree + 1):
+            target_addr = walk.pte_addr + 8 * step
+            if target_addr >= table_end:
+                self.stats.add("stopped_at_table_boundary")
+                break
+            value = page_table.read_entry(target_addr)
+            decoded = decode_pte(value)
+            if decoded.status is not PteStatus.NON_RESIDENT_HW:
+                continue
+            if is_anon_first_touch(decoded):
+                continue  # nothing to read for first-touch anonymous pages
+            if smu.pmshr.lookup(target_addr) is not None:
+                continue  # already being fetched (demand or prefetch)
+            if smu.pmshr.is_full:
+                self.stats.add("dropped_pmshr_full")
+                break
+            # Keep a reserve so prefetching never starves demand misses.
+            if free_queue.occupancy <= 2:
+                self.stats.add("dropped_no_frames")
+                break
+            pop = free_queue.pop()
+            if pop.empty:
+                self.stats.add("dropped_no_frames")
+                break
+            entry = smu.pmshr.allocate(
+                target_addr,
+                walk.pmd_entry_addr,
+                walk.pud_entry_addr,
+                decoded.device_id,
+                decoded.lba,
+            )
+            entry.pfn = pop.pfn
+            self.stats.add("issued")
+            spawn(
+                smu.sim,
+                self._prefetch_pipeline(entry, decoded, pop.pfn, page_table),
+                f"smu-readahead-{entry.index}",
+            )
+
+    def _prefetch_pipeline(self, entry, decoded, pfn: int, page_table):
+        """Background hardware activity for one prefetch."""
+        smu = self.smu
+        yield Delay(smu.host.issue_latency_ns)
+        io_done = smu._register_io(entry)
+        smu.host.issue_read(decoded.device_id, decoded.lba, pfn, entry.index)
+        yield WaitSignal(io_done)
+        yield Delay(
+            smu.config.cpu.cycles_to_ns(
+                smu.config.smu.completion_unit_cycles + smu.config.smu.entry_update_cycles
+            )
+        )
+        smu.updater.apply(
+            page_table, entry.pte_addr, entry.pmd_entry_addr, entry.pud_entry_addr, pfn
+        )
+        smu.kernel.counters.add("install.hw_pending")
+        smu.kernel.counters.add("smu.prefetched_pages")
+        self.stats.add("completed")
+        smu.pmshr.release(entry, pfn)

@@ -1,0 +1,196 @@
+"""System builder: assemble a simulated machine in OSDP / SWDP / HWDP mode.
+
+This is the package's main entry point::
+
+    from repro.config import SystemConfig, PagingMode
+    from repro.core.system import build_system
+
+    system = build_system(SystemConfig(mode=PagingMode.HWDP))
+    process = system.create_process("app")
+    thread = system.workload_thread(process, index=0)
+    ... spawn workload coroutines ...
+    system.run([...])
+
+Mode differences (paper Figure 10):
+
+* **OSDP** — vanilla kernel; no SMU, no free-page queue, no kpted/kpoold
+  (kswapd still runs, as on stock Linux); the fast-mmap flag is ignored.
+* **SWDP** — the paper's software-emulated SMU (§VI-A): LBA-augmented PTEs,
+  the emulation path in the fault handler, kpted + kpoold running.
+* **HWDP** — the proposal: the SMU attached to every MMU, kpted + kpoold
+  running, exceptions only for fallback cases.
+
+Thread placement matches the paper's pinning: workload thread *i* runs on
+physical core *i*'s first SMT lane; the kernel daemons (kpted, kpoold, and
+kswapd — the latter in every mode) take the second lanes of the last
+physical cores, so an 8-thread run contends with them — exactly the effect
+the paper reports at 8 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.config import PagingMode, SystemConfig
+from repro.core.smu import Smu, SmuComplex
+from repro.cpu.core import CpuComplex
+from repro.cpu.thread import ThreadContext
+from repro.errors import ConfigError, SimulationError
+from repro.os.kernel import Kernel
+from repro.os.kthreads import Kpoold, Kpted, Kswapd
+from repro.os.process import ProcessContext
+from repro.sim import Process, RngStreams, Simulator, spawn
+from repro.storage.nvme import NVMeDevice
+
+
+@dataclass
+class System:
+    """A fully wired simulated machine."""
+
+    sim: Simulator
+    config: SystemConfig
+    rng: RngStreams
+    cpu_complex: CpuComplex
+    device: NVMeDevice
+    kernel: Kernel
+    #: Socket 0's SMU (the common single-socket case); the full set lives
+    #: in :attr:`smu_complex`.
+    smu: Optional[Smu] = None
+    smu_complex: Optional[SmuComplex] = None
+    kpted: Optional[Kpted] = None
+    kpoold: Optional[Kpoold] = None
+    kswapd: Optional[Kswapd] = None
+    kthread_threads: List[ThreadContext] = field(default_factory=list)
+    _kthread_processes: List[Process] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def create_process(self, name: str = "app") -> ProcessContext:
+        return self.kernel.create_process(name)
+
+    def workload_thread(
+        self, process: ProcessContext, index: int, name: Optional[str] = None, lane: int = 0
+    ) -> ThreadContext:
+        """Thread pinned to physical core ``index``, SMT lane ``lane``."""
+        cpu = self.config.cpu
+        if not 0 <= index < cpu.physical_cores:
+            raise ConfigError(f"no physical core {index}")
+        if not 0 <= lane < cpu.smt_ways:
+            raise ConfigError(f"no SMT lane {lane}")
+        core = self.cpu_complex.logical_core(index * cpu.smt_ways + lane)
+        return ThreadContext(
+            self.sim, name or f"worker-{index}.{lane}", process, core, cpu
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        processes: Sequence[Process],
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until every given workload process finishes; returns the
+        finish time in ns.  Kernel daemons are stopped afterwards."""
+        dispatched = 0
+        while not all(process.finished for process in processes):
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"workload did not finish within {max_events} events"
+                )
+            if not self.sim.step():
+                raise SimulationError(
+                    "event queue drained but workload processes have not "
+                    "finished — a wait was lost"
+                )
+            dispatched += 1
+        finish = self.sim.now
+        self.kernel.stop()
+        return finish
+
+    def spawn(self, body: Any, name: str = "workload") -> Process:
+        return spawn(self.sim, body, name)
+
+
+def build_system(config: SystemConfig, namespace_blocks: int = 1 << 24) -> System:
+    """Construct a machine per ``config`` (see module docstring)."""
+    sim = Simulator()
+    rng = RngStreams(config.master_seed)
+    cpu_complex = CpuComplex(sim, config.cpu)
+    device = NVMeDevice(sim, config.device, rng.stream("device"))
+    kernel = Kernel(sim, config, cpu_complex, device, namespace_blocks)
+    system = System(
+        sim=sim,
+        config=config,
+        rng=rng,
+        cpu_complex=cpu_complex,
+        device=device,
+        kernel=kernel,
+    )
+
+    if config.mode is PagingMode.HWDP:
+        smus = [
+            Smu(sim, config, kernel, socket_id=socket)
+            for socket in range(config.sockets)
+        ]
+        complex_ = SmuComplex(smus)
+        # The primary device attaches to socket 0's SMU; further devices
+        # (tests, multi-device setups) install on whichever SMU serves them.
+        device_id = smus[0].host.install_device(device, nsid=1)
+        if device_id != 0:
+            raise ConfigError("first installed device must get ID 0")
+        kernel.smu = complex_
+        system.smu = smus[0]
+        system.smu_complex = complex_
+        for core in cpu_complex.logical_cores:
+            core.mmu.smu = complex_
+
+    if config.mode is not PagingMode.OSDP:
+        _boot_free_page_queue(kernel)
+    _start_kernel_daemons(system)
+    return system
+
+
+def _boot_free_page_queue(kernel: Kernel) -> None:
+    """Initial queue fill at boot (before any workload runs)."""
+    for queue in kernel.iter_free_queues():
+        frames = kernel.frame_pool.alloc_batch(queue.depth)
+        queue.refill(frames)
+        queue.prefetch_now()
+
+
+def _start_kernel_daemons(system: System) -> None:
+    config = system.config
+    cpu = config.cpu
+    kernel = system.kernel
+    daemon_process = kernel.create_process("kernel-daemons")
+
+    def daemon_core(slot: int) -> int:
+        """Daemon *slot* gets the second SMT lane of the slot-th core from
+        the end (or the core itself without SMT)."""
+        physical = cpu.physical_cores - 1 - slot
+        if cpu.smt_ways >= 2:
+            return physical * cpu.smt_ways + 1
+        return physical
+
+    def start(name: str, slot: int, daemon_class):
+        thread = ThreadContext(
+            system.sim,
+            name,
+            daemon_process,
+            system.cpu_complex.logical_core(daemon_core(slot)),
+            cpu,
+            kernel_context=True,
+        )
+        daemon = daemon_class(kernel, thread)
+        system.kthread_threads.append(thread)
+        system._kthread_processes.append(spawn(system.sim, daemon.run(), name))
+        return daemon
+
+    # kswapd runs in every mode (vanilla Linux behaviour).
+    if config.control_plane.kswapd_enabled:
+        system.kswapd = start("kswapd", 2, Kswapd)
+
+    if config.mode is PagingMode.OSDP:
+        return
+    system.kpted = start("kpted", 0, Kpted)
+    if config.control_plane.kpoold_enabled:
+        system.kpoold = start("kpoold", 1, Kpoold)

@@ -1,0 +1,18 @@
+"""CPU substrate: cores, SMT, pollution model, perf counters, threads."""
+
+from repro.cpu.core import CoreState, CpuComplex, LogicalCore, PhysicalCore
+from repro.cpu.perf import PerfCounters, aggregate
+from repro.cpu.pollution import PollutionState
+from repro.cpu.thread import COMPUTE_QUANTUM, ThreadContext
+
+__all__ = [
+    "CoreState",
+    "LogicalCore",
+    "PhysicalCore",
+    "CpuComplex",
+    "PollutionState",
+    "PerfCounters",
+    "aggregate",
+    "ThreadContext",
+    "COMPUTE_QUANTUM",
+]

@@ -1,0 +1,167 @@
+"""Software thread contexts and their execution primitives.
+
+A :class:`ThreadContext` is what workload drivers program against.  Its
+methods are simulation coroutines:
+
+``compute(instructions)``
+    Execute user instructions.  Effective IPC = base IPC × pollution factor
+    × SMT share; miss events accrue and pollution decays as the user code
+    re-warms its state.
+``mem_access(vaddr, is_write)``
+    Issue one memory access through the logical core's MMU.  On a hardware
+    page miss the pipeline *stalls* (no issue slots consumed); on an OS
+    fault the handler's kernel phases and I/O blocking run inside this
+    thread (see :mod:`repro.os.fault`).
+``kernel_phase(ns, name)``
+    Used by the OS model to charge one fault-path phase to this thread:
+    occupies the core in KERNEL state, retires kernel instructions, and
+    pollutes the physical core's microarchitectural state.
+``block(completion)``
+    Context-switched out: the core goes IDLE (an SMT sibling gets full
+    width) until the completion fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.config import CpuConfig
+from repro.cpu.core import CoreState, LogicalCore
+from repro.cpu.perf import PerfCounters
+from repro.errors import SimulationError
+from repro.sim import Delay, Signal, Simulator, WaitSignal
+
+#: Instruction-batch quantum: small enough that SMT/pollution state is
+#: sampled every few microseconds, large enough to keep event counts low.
+COMPUTE_QUANTUM = 20_000
+
+
+class ThreadContext:
+    """One software thread pinned to one logical core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        process: Any,
+        core: LogicalCore,
+        cpu: CpuConfig,
+        kernel_context: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.process = process
+        self.core = core
+        self.cpu = cpu
+        #: Kernel daemons (kpted/kpoold) charge all work as kernel time.
+        self.kernel_context = kernel_context
+        self.perf = PerfCounters(name)
+        #: Workload-specific IPC multiplier (SPEC-like kernels differ in
+        #: inherent ILP; see :mod:`repro.workloads.spec`).
+        self.ipc_scale = 1.0
+        #: When set (a list), every kernel phase appends
+        #: ``(sim_time_ns, phase_name, duration_ns)`` — the raw material
+        #: for measured fault-path breakdowns (see repro.analysis.phases).
+        self.phase_trace = None
+        core.bind(self)
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # user execution
+    # ------------------------------------------------------------------
+    def compute(self, instructions: float) -> Generator[Any, Any, None]:
+        """Retire ``instructions`` user instructions on this core."""
+        if instructions < 0:
+            raise SimulationError(f"negative instruction count {instructions}")
+        remaining = float(instructions)
+        while remaining > 0:
+            chunk = min(remaining, COMPUTE_QUANTUM)
+            pollution = self.core.pollution
+            ipc = (
+                self.cpu.base_user_ipc
+                * self.ipc_scale
+                * pollution.ipc_factor()
+                * self.core.smt_factor()
+            )
+            cycles = chunk / ipc
+            self.core.state = CoreState.USER
+            yield Delay(self.cpu.cycles_to_ns(cycles))
+            self.perf.user_instructions += chunk
+            self.perf.user_cycles += cycles
+            kilo = chunk / 1000.0
+            for event in self.cpu.miss_rates_per_kinstr:
+                self.perf.miss_events[event] += kilo * pollution.miss_rate(event)
+            pollution.decay(chunk)
+            remaining -= chunk
+        self.core.state = CoreState.IDLE
+
+    # ------------------------------------------------------------------
+    # memory access
+    # ------------------------------------------------------------------
+    def mem_access(self, vaddr: int, is_write: bool = False) -> Generator[Any, Any, Any]:
+        """One load/store; returns the MMU's :class:`Translation`."""
+        previous_state = self.core.state
+        # While the walker/SMU works, the pipeline is stalled, not issuing.
+        self.core.state = CoreState.STALLED
+        translation = yield from self.core.mmu.translate(self, vaddr, is_write)
+        self.core.state = previous_state
+        self.perf.record_translation(translation.kind.value, translation.miss_latency_ns)
+        kernel = getattr(self.process, "kernel", None)
+        if kernel is not None:
+            # Models the hardware access/dirty bits the OS samples: walks
+            # (TLB misses) refresh LRU recency, writes mark pages dirty.
+            kernel.note_access(translation.pfn, is_write)
+        return translation
+
+    # ------------------------------------------------------------------
+    # kernel-side charging (called by the OS model on this thread)
+    # ------------------------------------------------------------------
+    def kernel_phase(self, ns: float, name: str = "") -> Generator[Any, Any, None]:
+        """Run one kernel phase of ``ns`` length in this thread's context."""
+        if ns <= 0:
+            return
+        if self.phase_trace is not None:
+            self.phase_trace.append((self.sim.now, name, ns))
+        self.core.state = CoreState.KERNEL
+        yield Delay(ns)
+        instructions = self.cpu.kernel_ns_to_instructions(ns)
+        self.perf.kernel_instructions += instructions
+        self.perf.kernel_cycles += self.cpu.ns_to_cycles(ns)
+        self.core.pollution.add_kernel_work(instructions)
+        self.core.state = CoreState.STALLED
+
+    def block(self, signal: Signal) -> Generator[Any, Any, Any]:
+        """Context-switched out until ``signal`` fires; core goes IDLE."""
+        self.core.state = CoreState.IDLE
+        blocked_at = self.sim.now
+        value = yield WaitSignal(signal)
+        self.perf.blocked_cycles += self.cpu.ns_to_cycles(self.sim.now - blocked_at)
+        self.core.state = CoreState.STALLED
+        return value
+
+    def mwait(self, signal: Signal) -> Generator[Any, Any, Any]:
+        """monitor/mwait-style wait: the core halts (STALLED, not issuing)
+        until the watched memory is written — the SW-emulated SMU's
+        completion wait (paper §VI-A)."""
+        self.core.state = CoreState.STALLED
+        waited_from = self.sim.now
+        value = yield WaitSignal(signal)
+        self.perf.stall_cycles += self.cpu.ns_to_cycles(self.sim.now - waited_from)
+        self.core.state = CoreState.STALLED
+        return value
+
+    def stall(self, ns: float) -> Generator[Any, Any, None]:
+        """Pipeline-stalled delay (hardware miss handling wait)."""
+        if ns <= 0:
+            return
+        self.core.state = CoreState.STALLED
+        yield Delay(ns)
+        self.perf.stall_cycles += self.cpu.ns_to_cycles(ns)
+
+    # ------------------------------------------------------------------
+    def note_operation(self, count: int = 1) -> None:
+        """Record completed workload operations (throughput accounting)."""
+        self.perf.operations += count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ThreadContext {self.name} core={self.core.core_id}>"

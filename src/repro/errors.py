@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError` so
+callers can catch simulator-originated failures without masking ordinary
+Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. time travel)."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range or inconsistent."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address is malformed or out of range."""
+
+
+class PageTableError(ReproError):
+    """Illegal page-table manipulation (double map, unmap of absent page)."""
+
+class ProtectionFault(ReproError):
+    """An access violated the protection bits of a present mapping."""
+
+
+class StorageError(ReproError):
+    """Illegal storage-device interaction (bad LBA, bad queue state)."""
+
+
+class OutOfMemoryError(ReproError):
+    """The physical frame pool is exhausted and reclaim cannot make progress."""
+
+
+class KernelError(ReproError):
+    """The OS model reached an inconsistent state."""
+
+
+class SegmentationFault(KernelError):
+    """An access hit no VMA — the OS would deliver SIGSEGV."""
+
+
+class SmuError(ReproError):
+    """The storage management unit model reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload driver was configured or used incorrectly."""

@@ -1,0 +1,67 @@
+"""One module per paper figure/table; each exposes ``run(scale) -> ExperimentResult``.
+
+``run_all`` executes the full evaluation and returns every result; the
+``python -m repro.experiments`` entry point prints them.
+"""
+
+from typing import List
+
+from repro.experiments import (
+    ablations,
+    area_overhead,
+    fig01_motivation,
+    fig02_trends,
+    fig03_fault_breakdown,
+    fig04_pollution_osdp,
+    fig11_single_fault,
+    fig12_latency,
+    fig13_throughput,
+    fig14_pollution_hwdp,
+    fig15_kernel_cost,
+    fig16_smt,
+    fig17_sw_vs_hw,
+    table1_semantics,
+    tail_latency,
+    variance,
+)
+from repro.experiments.runner import (
+    PAPER_SHAPE,
+    QUICK,
+    ExperimentResult,
+    ExperimentScale,
+)
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_motivation.run,
+    "fig02": fig02_trends.run,
+    "fig03": fig03_fault_breakdown.run,
+    "fig04": fig04_pollution_osdp.run,
+    "table1": table1_semantics.run,
+    "fig11": fig11_single_fault.run,
+    "fig12": fig12_latency.run,
+    "fig13": fig13_throughput.run,
+    "fig14": fig14_pollution_hwdp.run,
+    "fig15": fig15_kernel_cost.run,
+    "fig16": fig16_smt.run,
+    "fig17": fig17_sw_vs_hw.run,
+    "area": area_overhead.run,
+    "tail": tail_latency.run,
+    "variance": variance.run,
+}
+
+
+def run_all(scale: ExperimentScale = QUICK) -> List[ExperimentResult]:
+    """Run every figure/table plus the ablations."""
+    results = [runner(scale) for runner in ALL_EXPERIMENTS.values()]
+    results.extend(ablations.run(scale))
+    return results
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "QUICK",
+    "PAPER_SHAPE",
+    "ExperimentScale",
+    "ExperimentResult",
+]

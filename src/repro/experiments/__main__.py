@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.experiments [names...]``.
+
+Runs the requested experiments (default: all, including ablations) at the
+chosen scale and prints the reproduced tables next to the paper's reference
+values.
+
+Usage::
+
+    python -m repro.experiments                 # everything, quick scale
+    python -m repro.experiments fig12 fig17     # selected figures
+    python -m repro.experiments --scale paper   # larger runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, ablations
+from repro.experiments.runner import PAPER_SHAPE, QUICK
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=f"experiments to run: {', '.join(ALL_EXPERIMENTS)}, ablations "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="run size (quick ~ CI, paper ~ larger shape runs)",
+    )
+    args = parser.parse_args(argv)
+    scale = PAPER_SHAPE if args.scale == "paper" else QUICK
+
+    names = args.names or list(ALL_EXPERIMENTS) + ["ablations"]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS and n != "ablations"]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        started = time.time()
+        if name == "ablations":
+            results = ablations.run(scale)
+        else:
+            results = [ALL_EXPERIMENTS[name](scale)]
+        for result in results:
+            print(result.to_text())
+            print()
+        print(f"[{name} finished in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Figure 1: YCSB-C execution-time breakdown vs dataset:memory ratio.
+
+The motivation experiment: with OS-based demand paging, as the dataset
+grows past memory (X:1), an increasing fraction of the execution time is
+spent in demand paging (page faults) while compute time per operation stays
+flat.
+
+Reproduced by running YCSB-C under OSDP at ratios 1:1 … 8:1 from the
+distribution's steady-state resident set, and attributing each operation's
+time to compute vs. fault handling from the perf counters.
+"""
+
+from __future__ import annotations
+
+from repro.config import PagingMode
+from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.workload_runs import run_kv_workload
+
+RATIOS = (1.0, 2.0, 4.0, 8.0)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig01",
+        title="YCSB-C execution time breakdown vs dataset:memory ratio (OSDP)",
+        headers=[
+            "ratio",
+            "time_per_op_us",
+            "compute_frac",
+            "fault_frac",
+            "fault_rate",
+        ],
+        paper_reference={
+            "trend": "page-fault fraction grows with the ratio; compute time stays flat",
+        },
+    )
+    for ratio in RATIOS:
+        run_cell = run_kv_workload(
+            "ycsb-c", PagingMode.OSDP, scale, threads=4, ratio=ratio
+        )
+        threads = run_cell.driver.threads
+        fault_time = sum(
+            stat.total
+            for thread in threads
+            for kind, stat in thread.perf.miss_latency.items()
+            if kind == "os-fault"
+        )
+        total_thread_time = run_cell.elapsed_ns * len(threads)
+        ops = run_cell.driver.total_operations
+        faults = sum(thread.perf.translations["os-fault"] for thread in threads)
+        fault_frac = fault_time / total_thread_time
+        result.add_row(
+            ratio=f"{ratio:g}:1",
+            time_per_op_us=(total_thread_time / ops) / 1000.0,
+            compute_frac=1.0 - fault_frac,
+            fault_frac=fault_frac,
+            fault_rate=faults / ops,
+        )
+    return result

@@ -1,0 +1,81 @@
+"""Figure 4: the direct and indirect cost of page faults (ideal vs OSDP).
+
+The paper configures YCSB-C with a dataset that *fits* in memory and
+compares two OSDP machines: **ideal** — the whole dataset pre-loaded and
+``MAP_POPULATE`` enforced, so no faults occur — against **OSDP** with no
+pre-loading, so every first touch faults.  Results: OSDP reaches less than
+half of ideal's throughput, and its *user-level* IPC is visibly lower with
+more cache/branch misses — the microarchitectural pollution of frequent OS
+intervention.
+"""
+
+from __future__ import annotations
+
+from repro.config import PagingMode
+from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, aggregate_perf
+from repro.experiments.workload_runs import run_kv_workload
+
+#: Dataset fills this fraction of memory (must fit for MAP_POPULATE).
+FIT_RATIO = 0.6
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    ideal = run_kv_workload(
+        "ycsb-c",
+        PagingMode.OSDP,
+        scale,
+        threads=4,
+        ratio=FIT_RATIO,
+        prewarm=False,
+        populate=True,
+    )
+    osdp = run_kv_workload(
+        "ycsb-c",
+        PagingMode.OSDP,
+        scale,
+        threads=4,
+        ratio=FIT_RATIO,
+        prewarm=False,
+        populate=False,
+    )
+    ideal_perf = aggregate_perf(ideal.driver.threads)
+    osdp_perf = aggregate_perf(osdp.driver.threads)
+
+    result = ExperimentResult(
+        name="fig04",
+        title="ideal (no faults) vs OSDP: throughput, user IPC, miss events",
+        headers=["metric", "ideal", "osdp", "osdp_normalized"],
+        paper_reference={
+            "throughput": "OSDP < 0.5x ideal",
+            "user IPC": "OSDP visibly below ideal",
+            "miss events": "cache and branch misses increase under OSDP",
+        },
+    )
+    result.add_row(
+        metric="throughput (ops/s)",
+        ideal=ideal.throughput,
+        osdp=osdp.throughput,
+        osdp_normalized=osdp.throughput / ideal.throughput,
+    )
+    result.add_row(
+        metric="user-level IPC",
+        ideal=ideal_perf.user_ipc,
+        osdp=osdp_perf.user_ipc,
+        osdp_normalized=osdp_perf.user_ipc / ideal_perf.user_ipc,
+    )
+    for event in ("l1d_miss", "l2_miss", "llc_miss", "branch_miss"):
+        ideal_rate = ideal_perf.misses_per_kinstr(event)
+        osdp_rate = osdp_perf.misses_per_kinstr(event)
+        result.add_row(
+            metric=f"{event} / kinstr",
+            ideal=ideal_rate,
+            osdp=osdp_rate,
+            osdp_normalized=osdp_rate / ideal_rate if ideal_rate else None,
+        )
+    result.add_row(
+        metric="page faults",
+        ideal=float(sum(t.perf.translations["os-fault"] for t in ideal.driver.threads)),
+        osdp=float(sum(t.perf.translations["os-fault"] for t in osdp.driver.threads)),
+        osdp_normalized=None,
+    )
+    return result

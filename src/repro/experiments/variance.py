@@ -1,0 +1,58 @@
+"""Seed-variance analysis of the headline comparisons (beyond the paper).
+
+Quick-scale cells run a few hundred operations, so single-seed gains carry
+sampling noise (EXPERIMENTS.md flags DBBench's 2-thread cell).  This
+experiment repeats key OSDP-vs-HWDP cells across independent seeds and
+reports mean ± stddev of the throughput gain, separating real shape from
+noise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import PagingMode
+from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.workload_runs import run_kv_workload
+from repro.sim import StatAccumulator
+
+DEFAULT_SEEDS = (0xD5EED, 0xBEEF, 0xCAFE, 0xF00D, 0x5EED)
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = ("fio", "dbbench", "ycsb-c"),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="variance",
+        title=f"throughput gain across {len(seeds)} seeds (4 threads, 2:1)",
+        headers=["workload", "mean_gain_pct", "stddev_pct", "min_pct", "max_pct"],
+        paper_reference={
+            "purpose": "beyond the paper: quantifies quick-scale sampling "
+            "noise around the Figure 13 shapes",
+        },
+    )
+    for workload in workloads:
+        gains = StatAccumulator(workload)
+        for seed in seeds:
+            cells = {
+                mode: run_kv_workload(workload, mode, scale, threads=4, seed=seed)
+                for mode in (PagingMode.OSDP, PagingMode.HWDP)
+            }
+            gains.add(
+                100.0
+                * (
+                    cells[PagingMode.HWDP].throughput
+                    / cells[PagingMode.OSDP].throughput
+                    - 1.0
+                )
+            )
+        result.add_row(
+            workload=workload,
+            mean_gain_pct=gains.mean,
+            stddev_pct=gains.stddev,
+            min_pct=gains.min,
+            max_pct=gains.max,
+        )
+    return result

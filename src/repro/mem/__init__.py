@@ -1,0 +1,35 @@
+"""Physical memory substrate: address helpers and the frame pool."""
+
+from repro.mem.address import (
+    ENTRIES_PER_TABLE,
+    LEVEL_BITS,
+    LEVELS,
+    PAGE_SHIFT,
+    VA_BITS,
+    VA_LIMIT,
+    check_vaddr,
+    level_index,
+    page_align_up,
+    page_base,
+    page_number,
+    page_offset,
+    pages_in_range,
+)
+from repro.mem.physmem import FramePool
+
+__all__ = [
+    "PAGE_SHIFT",
+    "LEVEL_BITS",
+    "LEVELS",
+    "ENTRIES_PER_TABLE",
+    "VA_BITS",
+    "VA_LIMIT",
+    "check_vaddr",
+    "page_number",
+    "page_offset",
+    "page_base",
+    "page_align_up",
+    "level_index",
+    "pages_in_range",
+    "FramePool",
+]

@@ -1,0 +1,70 @@
+"""Address constants and helpers for 4 KB-page x86-64-style paging.
+
+The model uses the standard 4-level radix layout: 9 index bits per level
+(PGD → PUD → PMD → PT) over a 48-bit virtual address space with 4 KB pages.
+"""
+
+from __future__ import annotations
+
+from repro.config import PAGE_SIZE
+from repro.errors import AddressError
+
+PAGE_SHIFT = 12
+assert PAGE_SIZE == 1 << PAGE_SHIFT
+
+#: Index bits per page-table level.
+LEVEL_BITS = 9
+ENTRIES_PER_TABLE = 1 << LEVEL_BITS  # 512
+
+#: Number of radix levels (PGD=3, PUD=2, PMD=1, PT=0).
+LEVELS = 4
+VA_BITS = PAGE_SHIFT + LEVELS * LEVEL_BITS  # 48
+VA_LIMIT = 1 << VA_BITS
+
+#: Bytes spanned by one entry at each level (PT entry = one page, ...).
+SPAN_BY_LEVEL = [1 << (PAGE_SHIFT + level * LEVEL_BITS) for level in range(LEVELS)]
+
+
+def check_vaddr(vaddr: int) -> int:
+    """Validate a virtual address; returns it unchanged."""
+    if not 0 <= vaddr < VA_LIMIT:
+        raise AddressError(f"virtual address {vaddr:#x} outside {VA_BITS}-bit space")
+    return vaddr
+
+
+def page_number(vaddr: int) -> int:
+    """Virtual page number containing ``vaddr``."""
+    return check_vaddr(vaddr) >> PAGE_SHIFT
+
+
+def page_offset(vaddr: int) -> int:
+    return vaddr & (PAGE_SIZE - 1)
+
+
+def page_base(vaddr: int) -> int:
+    """Base address of the page containing ``vaddr``."""
+    return check_vaddr(vaddr) & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(value: int) -> int:
+    return (value + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def level_index(vaddr: int, level: int) -> int:
+    """Radix index of ``vaddr`` at ``level`` (0 = PT, 3 = PGD)."""
+    if not 0 <= level < LEVELS:
+        raise AddressError(f"level {level} out of range")
+    return (check_vaddr(vaddr) >> (PAGE_SHIFT + level * LEVEL_BITS)) & (
+        ENTRIES_PER_TABLE - 1
+    )
+
+
+def pages_in_range(start: int, length: int) -> range:
+    """Virtual page numbers covering ``[start, start+length)``."""
+    if length < 0:
+        raise AddressError("negative range length")
+    if length == 0:
+        return range(0)
+    first = page_number(start)
+    last = page_number(start + length - 1)
+    return range(first, last + 1)

@@ -1,0 +1,80 @@
+"""Physical frame pool.
+
+A deliberately simple allocator: the OS model's reclaim logic (LRU lists,
+watermarks, kswapd-style eviction) lives in :mod:`repro.os.lru`; this module
+only tracks which frame numbers are free.  Frames are plain integers
+(page-frame numbers, PFNs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Set
+
+from repro.config import MemoryConfig
+from repro.errors import OutOfMemoryError, PageTableError
+
+
+class FramePool:
+    """Tracks free/used physical frames with watermark queries."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+        self.total_frames = config.total_frames
+        self._free: Deque[int] = deque(range(config.total_frames))
+        self._free_set: Set[int] = set(self._free)
+        #: Lifetime counters for experiments.
+        self.allocations = 0
+        self.frees = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_frames(self) -> int:
+        return self.total_frames - len(self._free)
+
+    @property
+    def below_low_watermark(self) -> bool:
+        return self.free_frames < self.config.low_watermark
+
+    @property
+    def below_high_watermark(self) -> bool:
+        return self.free_frames < self.config.high_watermark
+
+    # ------------------------------------------------------------------
+    def alloc(self) -> int:
+        """Allocate one frame; raises :class:`OutOfMemoryError` when empty."""
+        if not self._free:
+            raise OutOfMemoryError("physical frame pool exhausted")
+        pfn = self._free.popleft()
+        self._free_set.discard(pfn)
+        self.allocations += 1
+        return pfn
+
+    def try_alloc(self) -> int:
+        """Allocate one frame, or return -1 when the pool is empty."""
+        if not self._free:
+            return -1
+        return self.alloc()
+
+    def alloc_batch(self, count: int) -> List[int]:
+        """Allocate up to ``count`` frames (may return fewer)."""
+        batch = []
+        for _ in range(count):
+            if not self._free:
+                break
+            batch.append(self.alloc())
+        return batch
+
+    def free(self, pfn: int) -> None:
+        """Return a frame to the pool."""
+        if not 0 <= pfn < self.total_frames:
+            raise PageTableError(f"PFN {pfn} out of range")
+        if pfn in self._free_set:
+            raise PageTableError(f"double free of PFN {pfn}")
+        self._free.append(pfn)
+        self._free_set.add(pfn)
+        self.frees += 1

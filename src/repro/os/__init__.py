@@ -1,0 +1,29 @@
+"""OS model: kernel, fault handling, memory management, file system, daemons."""
+
+from repro.os.blockio import BlockIoStack
+from repro.os.fault import PageFaultHandler
+from repro.os.filesystem import File, FileSystem
+from repro.os.kernel import Kernel
+from repro.os.kthreads import Kpoold, Kpted, Kswapd
+from repro.os.lru import LruLists, PageInfo
+from repro.os.page_cache import PageCache
+from repro.os.process import ProcessContext
+from repro.os.vma import AddressSpaceLayout, MmapFlags, Vma
+
+__all__ = [
+    "Kernel",
+    "PageFaultHandler",
+    "BlockIoStack",
+    "FileSystem",
+    "File",
+    "LruLists",
+    "PageInfo",
+    "PageCache",
+    "ProcessContext",
+    "Vma",
+    "MmapFlags",
+    "AddressSpaceLayout",
+    "Kpted",
+    "Kpoold",
+    "Kswapd",
+]

@@ -1,0 +1,295 @@
+"""The page-fault handler: OSDP, SWDP-emulation, and HWDP-fallback paths.
+
+This module is the *data plane of the baseline* and the heart of the
+latency comparison:
+
+**OSDP major fault** (Figures 3/10/11a) — exception → handler entry → frame
+allocation → I/O-stack submission → context switch out (overlapped with the
+device) → blocked → interrupt delivery → I/O-stack completion → context
+switch in → OS metadata update → PTE update and return.  Every phase
+charges kernel time to the faulting thread per :class:`repro.config.OsdpCosts`.
+
+**SWDP fault** (§VI-A) — the exception is taken, an early LBA-bit check
+jumps to the software SMU emulation: PMSHR-in-memory ops and direct NVMe
+command construction on an isolated queue, then an mwait-style stall until
+the CQ write, then PTE installation *without* inline metadata updates
+(kpted synchronises later).  No block layer, no context switch.
+
+**HWDP fallback** — when the SMU finds the free-page queue empty it raises
+a normal exception; the OS handles the fault conventionally *and* refills
+the queue, overlapping the refill with the device time as in AIOS (§IV-D).
+
+Concurrent faults coalesce: the OS paths on an in-flight table (Linux
+serialises on the page lock), the SWDP path in its emulated PMSHR exactly
+like the hardware does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.config import PagingMode
+from repro.errors import SegmentationFault
+from repro.mem.address import PAGE_SHIFT
+from repro.sim import Completion
+from repro.vm.page_table import WalkResult
+from repro.vm.pte import ANON_FIRST_TOUCH_LBA, PteStatus, decode_pte
+
+
+class PageFaultHandler:
+    """All exception-entered fault handling for one kernel."""
+
+    def __init__(self, kernel: Any):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.costs = kernel.config.osdp_costs
+        self.sw_costs = kernel.config.swdp_costs
+        #: (pid, vpn) → Completion firing with the installed PFN.
+        self._inflight: Dict[Tuple[int, int], Completion] = {}
+        #: Emulated PMSHR (SWDP mode only; lives in kernel memory).
+        #: Imported lazily: repro.core's package init reaches back into
+        #: repro.os, so a module-level import would be circular.
+        self.sw_pmshr = None
+        if kernel.config.mode is PagingMode.SWDP:
+            from repro.core.pmshr import Pmshr
+
+            self.sw_pmshr = Pmshr(self.sim, kernel.config.smu.pmshr_entries)
+
+    # ------------------------------------------------------------------
+    # entry point (installed as every MMU's fault handler)
+    # ------------------------------------------------------------------
+    def handle(
+        self, thread: Any, vaddr: int, walk: WalkResult, is_write: bool
+    ) -> Generator[Any, Any, int]:
+        kernel = self.kernel
+        kernel.counters.add("fault.exceptions")
+        yield from thread.kernel_phase(self.costs.exception_walk_ns, "exception_walk")
+
+        process = thread.process
+        vma = process.find_vma(vaddr)
+        if vma is None:
+            raise SegmentationFault(
+                f"{process.name}/{thread.name}: no VMA maps {vaddr:#x}"
+            )
+
+        # Re-read the PTE: the page may have been installed while the
+        # exception was delivered (e.g. the SMU completing a racing miss).
+        current = decode_pte(process.page_table.get_pte(vaddr))
+        if current.present:
+            kernel.counters.add("fault.spurious")
+            yield from thread.kernel_phase(self.costs.pte_update_return_ns, "return")
+            return current.pfn
+
+        if (
+            self.sw_pmshr is not None
+            and vma.is_fastmap
+            and current.status is PteStatus.NON_RESIDENT_HW
+        ):
+            # Early LBA-bit check (§VI-A): jump to the SMU emulation, which
+            # coalesces in the emulated PMSHR rather than the in-flight map.
+            pfn = yield from self._swdp_fault(thread, vaddr, vma, current)
+            return pfn
+
+        refill = current.status is PteStatus.NON_RESIDENT_HW
+        pfn = yield from self._coalesced_os_fault(thread, vaddr, vma, refill)
+        return pfn
+
+    # ------------------------------------------------------------------
+    # page-lock style coalescing wrapper for the OS-handled paths
+    # ------------------------------------------------------------------
+    def _coalesced_os_fault(
+        self, thread: Any, vaddr: int, vma: Any, refill_queue: bool
+    ) -> Generator[Any, Any, int]:
+        kernel = self.kernel
+        key = (thread.process.pid, vaddr >> PAGE_SHIFT)
+        pending = self._inflight.get(key)
+        if pending is not None:
+            # Another thread is already faulting this page in: sleep on the
+            # page lock and return its frame.
+            kernel.counters.add("fault.coalesced")
+            pfn = yield from thread.block(pending)
+            yield from thread.kernel_phase(self.costs.pte_update_return_ns, "return")
+            return pfn
+
+        completion = Completion(self.sim, f"fault-{key[0]}-{key[1]:#x}")
+        self._inflight[key] = completion
+        try:
+            decoded = decode_pte(thread.process.page_table.get_pte(vaddr))
+            swap_lba = self._anon_swap_lba(vma, decoded)
+            if vma.is_file_backed or swap_lba is not None:
+                pfn = yield from self._major_fault(
+                    thread, vaddr, vma, refill_queue, swap_lba=swap_lba
+                )
+            else:
+                pfn = yield from self._minor_fault(thread, vaddr, vma)
+        finally:
+            del self._inflight[key]
+        completion.fire(pfn)
+        return pfn
+
+    def _anon_swap_lba(self, vma: Any, decoded: Any):
+        """LBA backing a swapped-out anonymous page, or None.
+
+        Two encodings exist: LBA-augmented PTEs (the §V hardware extension)
+        and conventional swap PTEs (the OSDP path, swap offset biased by
+        one in the PFN field).
+        """
+        if vma.is_file_backed:
+            return None
+        if (
+            decoded.status is PteStatus.NON_RESIDENT_HW
+            and decoded.lba != ANON_FIRST_TOUCH_LBA
+        ):
+            return decoded.lba
+        if decoded.status is PteStatus.NON_RESIDENT_OS and decoded.pfn > 0:
+            return self.kernel.swap_file.lba_of_page(decoded.pfn - 1)
+        return None
+
+    # ------------------------------------------------------------------
+    # conventional OS-handled major fault (OSDP; also the HWDP fallback)
+    # ------------------------------------------------------------------
+    def _major_fault(
+        self,
+        thread: Any,
+        vaddr: int,
+        vma: Any,
+        refill_queue: bool = False,
+        swap_lba: Optional[int] = None,
+    ) -> Generator[Any, Any, int]:
+        kernel = self.kernel
+        costs = self.costs
+        kernel.counters.add("fault.major")
+        yield from thread.kernel_phase(costs.handler_entry_ns, "handler_entry")
+
+        file = vma.file
+        if file is not None:
+            file_page = vma.file_page_of(vaddr)
+            cached = kernel.page_cache.lookup(file, file_page)
+            if cached is not None:
+                # Minor fault on a cached file page: map it, no device I/O.
+                kernel.counters.add("fault.minor_cached")
+                yield from thread.kernel_phase(costs.pte_update_return_ns, "return")
+                kernel.map_cached_page(thread.process, vma, vaddr, cached)
+                return cached
+            nsid = file.nsid
+            lba = file.lba_of_page(file_page)
+        else:
+            # Swapped-out anonymous page: read it back from swap space;
+            # no page cache is involved.
+            if swap_lba is None:
+                raise SegmentationFault(
+                    f"anonymous major fault at {vaddr:#x} without a swap LBA"
+                )
+            nsid = kernel.swap_file.nsid
+            lba = swap_lba
+            kernel.counters.add("fault.anon_swapin")
+
+        pfn = yield from kernel.alloc_frame(thread)
+        yield from thread.kernel_phase(costs.io_submit_ns, "io_submit")
+        io_done = kernel.blockio.submit_read(nsid, lba, dma_addr=pfn)
+
+        # The switch-out overlaps the device I/O (it happens after the
+        # doorbell), as does the fallback path's queue refill (§IV-D).
+        yield from thread.kernel_phase(costs.context_switch_out_ns, "context_switch_out")
+        if refill_queue:
+            kernel.counters.add("fault.sync_refill")
+            yield from kernel.refill_free_page_queue(
+                thread, reason="sync", core_id=thread.core.core_id
+            )
+        yield from thread.block(io_done)
+
+        yield from thread.kernel_phase(costs.interrupt_delivery_ns, "interrupt_delivery")
+        yield from thread.kernel_phase(costs.io_completion_ns, "io_completion")
+        yield from thread.kernel_phase(costs.context_switch_in_ns, "context_switch_in")
+        yield from thread.kernel_phase(costs.metadata_update_ns, "metadata_update")
+        kernel.install_resident_page(thread.process, vma, vaddr, pfn)
+        yield from thread.kernel_phase(costs.pte_update_return_ns, "return")
+        return pfn
+
+    # ------------------------------------------------------------------
+    # anonymous minor fault
+    # ------------------------------------------------------------------
+    def _minor_fault(self, thread: Any, vaddr: int, vma: Any) -> Generator[Any, Any, int]:
+        kernel = self.kernel
+        kernel.counters.add("fault.minor_anon")
+        yield from thread.kernel_phase(self.costs.handler_entry_ns, "handler_entry")
+        pfn = yield from kernel.alloc_frame(thread)
+        yield from thread.kernel_phase(self.costs.metadata_update_ns, "metadata_update")
+        kernel.install_resident_page(thread.process, vma, vaddr, pfn)
+        yield from thread.kernel_phase(self.costs.pte_update_return_ns, "return")
+        return pfn
+
+    # ------------------------------------------------------------------
+    # software-emulated SMU (SWDP, §VI-A)
+    # ------------------------------------------------------------------
+    def _swdp_fault(
+        self, thread: Any, vaddr: int, vma: Any, decoded: Any
+    ) -> Generator[Any, Any, int]:
+        kernel = self.kernel
+        pmshr = self.sw_pmshr
+        kernel.counters.add("fault.swdp")
+        walk = thread.process.page_table.walk(vaddr)
+
+        existing = pmshr.lookup(walk.pte_addr)
+        if existing is not None:
+            kernel.counters.add("fault.swdp_coalesced")
+            pfn = yield from thread.mwait(existing.completion)
+            if pfn is None:  # leader failed over to the OS path
+                pfn = yield from self._coalesced_os_fault(
+                    thread, vaddr, vma, refill_queue=True
+                )
+                return pfn
+            yield from thread.kernel_phase(self.sw_costs.emu_complete_ns / 2, "emu_tail")
+            return pfn
+
+        while pmshr.is_full:
+            kernel.counters.add("fault.swdp_pmshr_full")
+            pmshr.stats.add("full")
+            yield from thread.mwait(pmshr.slot_freed)
+
+        entry = pmshr.allocate(
+            walk.pte_addr,
+            walk.pmd_entry_addr,
+            walk.pud_entry_addr,
+            decoded.device_id,
+            decoded.lba,
+        )
+        pop = kernel.free_queue_for(thread.core.core_id).pop()
+        if pop.empty:
+            # Paper §IV-D: fail to the OS handler, which also refills.
+            kernel.counters.add("fault.swdp_queue_empty")
+            pmshr.release(entry, None)
+            pfn = yield from self._coalesced_os_fault(
+                thread, vaddr, vma, refill_queue=True
+            )
+            return pfn
+        entry.pfn = pop.pfn
+
+        # The memory-table PMSHR suffers cache-line contention with many
+        # outstanding faults — the paper's own SW-model limitation (§VI-C).
+        contention = self.sw_costs.contention_ns_per_outstanding * max(
+            0, pmshr.outstanding - 1
+        )
+        yield from thread.kernel_phase(
+            self.sw_costs.emu_submit_ns + contention, "emu_submit"
+        )
+        if decoded.lba == ANON_FIRST_TOUCH_LBA and not vma.is_file_backed:
+            # §V anonymous extension, emulated: zero-fill, no I/O.
+            kernel.counters.add("fault.swdp_anon_zero_fill")
+            yield from thread.kernel_phase(
+                kernel.config.smu.anon_zero_fill_ns, "emu_zero_fill"
+            )
+        else:
+            io_done = kernel.smu_blockio.submit_read(
+                kernel.nsid_for_vma(vma), decoded.lba, dma_addr=pop.pfn
+            )
+            yield from thread.mwait(io_done)
+        yield from thread.kernel_phase(self.sw_costs.emu_complete_ns, "emu_complete")
+        kernel.hw_install_page(thread.process, vma, vaddr, walk, pop.pfn)
+        pmshr.release(entry, pop.pfn)
+        return pop.pfn
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight_faults(self) -> int:
+        return len(self._inflight)

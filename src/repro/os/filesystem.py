@@ -1,0 +1,107 @@
+"""Extent-based file-system model.
+
+The only file-system semantics the paper depends on are:
+
+* mapping a file page index to an on-disk LBA (so `mmap()` can LBA-augment
+  PTEs, §IV-B);
+* *block remapping* — a copy-on-write or log-structured file system may move
+  a file block, and every LBA-augmented PTE referring to it must be updated
+  (§IV-B: "whenever a file system changes its block mapping, the routine
+  also updates the LBA field of the PTEs").
+
+Files are allocated as page-granular extents on one NVMe namespace.  A
+remap hook lets the kernel register the PTE-update routine; files mapped
+with the fast-mmap flag are marked so the hook only fires for them, exactly
+as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import BLOCKS_PER_PAGE
+from repro.errors import StorageError
+from repro.storage.nvme import Namespace
+
+
+@dataclass
+class File:
+    """One file: a name, a size in pages, and a per-page LBA map."""
+
+    name: str
+    num_pages: int
+    nsid: int
+    #: LBA of each file page (page-granular extents; initially contiguous).
+    page_lbas: List[int] = field(default_factory=list)
+    #: Set when the file is mapped with the fast-mmap flag (§IV-B) so block
+    #: remaps know to update LBA-augmented PTEs.
+    fastmap_marked: bool = False
+    remaps: int = 0
+
+    def lba_of_page(self, page_index: int) -> int:
+        if not 0 <= page_index < self.num_pages:
+            raise StorageError(
+                f"file {self.name!r}: page {page_index} out of range (size {self.num_pages})"
+            )
+        return self.page_lbas[page_index]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * BLOCKS_PER_PAGE * 512
+
+
+#: Remap-hook signature: (file, page_index, old_lba, new_lba).
+RemapHook = Callable[[File, int, int, int], None]
+
+
+class FileSystem:
+    """All files of one namespace."""
+
+    def __init__(self, namespace: Namespace):
+        self.namespace = namespace
+        self.files: Dict[str, File] = {}
+        self._remap_hooks: List[RemapHook] = []
+
+    # ------------------------------------------------------------------
+    def create_file(self, name: str, num_pages: int) -> File:
+        """Create a file of ``num_pages`` pages backed by fresh blocks."""
+        if name in self.files:
+            raise StorageError(f"file {name!r} already exists")
+        if num_pages < 1:
+            raise StorageError("file must have at least one page")
+        first_lba = self.namespace.allocate_blocks(num_pages * BLOCKS_PER_PAGE)
+        file = File(
+            name=name,
+            num_pages=num_pages,
+            nsid=self.namespace.nsid,
+            page_lbas=[first_lba + i * BLOCKS_PER_PAGE for i in range(num_pages)],
+        )
+        self.files[name] = file
+        return file
+
+    def lookup(self, name: str) -> File:
+        file = self.files.get(name)
+        if file is None:
+            raise StorageError(f"no such file {name!r}")
+        return file
+
+    # ------------------------------------------------------------------
+    def add_remap_hook(self, hook: RemapHook) -> None:
+        """Register the kernel's LBA-augmented-PTE update routine."""
+        self._remap_hooks.append(hook)
+
+    def remap_page(self, file: File, page_index: int) -> int:
+        """Move one file page to a fresh block (CoW / log-structured update).
+
+        Returns the new LBA.  For fast-mmap-marked files every registered
+        hook runs so non-present LBA-augmented PTEs stay coherent.
+        """
+        old_lba = file.lba_of_page(page_index)
+        new_lba = self.namespace.allocate_blocks(BLOCKS_PER_PAGE)
+        file.page_lbas[page_index] = new_lba
+        file.remaps += 1
+        if file.fastmap_marked:
+            for hook in self._remap_hooks:
+                hook(file, page_index, old_lba, new_lba)
+        return new_lba

@@ -1,0 +1,50 @@
+"""Process contexts: page table + VMA layout + fork semantics."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.os.vma import AddressSpaceLayout, Vma
+from repro.vm.page_table import PageTable
+from repro.vm.pte import PteStatus, pte_status, revert_to_normal
+
+_pid_counter = itertools.count(1)
+
+
+class ProcessContext:
+    """One address space (the model has no notion of executable images)."""
+
+    def __init__(self, kernel: Any, name: str = "proc", parent: Optional["ProcessContext"] = None):
+        self.kernel = kernel
+        self.pid = next(_pid_counter)
+        self.name = name
+        self.parent = parent
+        self.page_table = PageTable(asid=self.pid)
+        self.layout = AddressSpaceLayout()
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    def find_vma(self, vaddr: int) -> Optional[Vma]:
+        return self.layout.find(vaddr)
+
+    def fork(self, name: Optional[str] = None) -> "ProcessContext":
+        """Fork: child shares nothing; LBA-augmented PTEs revert (paper §V).
+
+        The paper's scheme does not support sharing file mappings across
+        address spaces, so on fork every NON_RESIDENT_HW entry in the
+        *parent* reverts to a conventional empty PTE whose future miss the
+        OS handles; the child starts with empty tables (its mappings are
+        re-established by whatever it maps).
+        """
+        reverted = 0
+        for vpn, value in list(self.page_table.iter_populated()):
+            if pte_status(value) is PteStatus.NON_RESIDENT_HW:
+                self.page_table.set_pte(vpn << 12, revert_to_normal(value))
+                reverted += 1
+        # Fast-mmap VMAs lose their hardware handling in both parent and child.
+        for vma in self.layout.fastmap_vmas():
+            vma.flags &= ~type(vma.flags).FASTMAP
+        child = ProcessContext(self.kernel, name or f"{self.name}-child", parent=self)
+        child._reverted_on_fork = reverted  # introspection for tests
+        return child

@@ -1,0 +1,157 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar-queue simulator: a priority queue of
+``(time, sequence, callback)`` entries.  Time is measured in nanoseconds and
+stored as a float; a monotonically increasing sequence number breaks ties so
+events scheduled at the same instant fire in FIFO order, which keeps the
+simulation deterministic.
+
+The engine knows nothing about processes or resources; those live in
+:mod:`repro.sim.process` and :mod:`repro.sim.resources` and are built purely
+on :meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Conversion helpers — all engine time is in nanoseconds.
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; allows cancellation.
+
+    The engine never removes cancelled entries from the heap eagerly; a
+    cancelled event is simply skipped when it reaches the front.  This keeps
+    cancellation O(1).
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.1f}ns {state} {self.callback!r}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(100.0, print, "hello at t=100ns")
+        sim.run()
+
+    Coroutine processes (see :class:`repro.sim.process.Process`) are layered
+    on top via :meth:`repro.sim.process.spawn`.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        #: Number of events dispatched so far (useful for budget checks).
+        self.events_dispatched: int = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(self._now + delay, callback, args)
+        heapq.heappush(self._queue, (event.time, next(self._sequence), event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        return self.schedule(time - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the next pending event.  Returns False if queue is empty."""
+        while self._queue:
+            time, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue went backwards in time")
+            self._now = time
+            self.events_dispatched += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` ns is reached, or
+        ``max_events`` have been dispatched.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so time-weighted statistics
+        observed after :meth:`run` cover the full interval.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                if self.step():
+                    dispatched += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued events, including cancelled tombstones."""
+        return len(self._queue)

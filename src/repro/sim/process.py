@@ -1,0 +1,263 @@
+"""Coroutine processes on top of the event engine.
+
+A *process* is a Python generator that models a sequential activity (a CPU
+thread, the NVMe device's command loop, a kernel daemon).  The generator
+yields *commands* telling the scheduler what to wait for:
+
+``Delay(ns)``
+    resume after ``ns`` nanoseconds of simulated time.
+``WaitSignal(signal)``
+    resume when the signal fires; the fired value is sent back into the
+    generator.
+``Process``
+    join: resume when the yielded process terminates; its return value is
+    sent back.
+
+Sub-activities are composed with plain ``yield from``, so most model code
+reads like straight-line procedures::
+
+    def fault_handler(self):
+        yield Delay(self.cost.exception_ns)
+        value = yield WaitSignal(io_done)
+        ...
+
+Processes propagate exceptions: an uncaught exception inside a process is
+re-raised out of :meth:`Simulator.run` at the point the event fires, which
+turns model bugs into loud test failures instead of silent stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import ScheduledEvent, Simulator
+
+#: Type alias for the generators that implement process bodies.
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Delay:
+    """Command: suspend the process for ``ns`` nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: float):
+        if ns < 0:
+            raise SimulationError(f"negative delay {ns}")
+        self.ns = ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.ns}ns)"
+
+
+class Signal:
+    """A broadcast wake-up primitive.
+
+    ``fire(value)`` resumes every process currently waiting and delivers
+    ``value`` to each.  A signal may fire any number of times; waiters that
+    arrive after a fire wait for the *next* fire (edge-triggered).
+
+    For one-shot completion events use :class:`Completion`, which latches.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "fire_count")
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current waiters, delivering ``value``."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            # Resume via a zero-delay event to preserve run-to-completion
+            # semantics of the currently executing process.
+            self.sim.schedule(0.0, process._resume, value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name} waiters={len(self._waiters)}>"
+
+
+class Completion(Signal):
+    """A latching signal: once fired, later waiters resume immediately.
+
+    This models completion flags (an I/O that already finished, a PMSHR
+    broadcast that already happened) where a late waiter must not hang.
+    """
+
+    __slots__ = ("done", "value")
+
+    def __init__(self, sim: Simulator, name: str = "completion"):
+        super().__init__(sim, name)
+        self.done = False
+        self.value: Any = None
+
+    def fire(self, value: Any = None) -> None:
+        if self.done:
+            raise SimulationError(f"completion {self.name} fired twice")
+        self.done = True
+        self.value = value
+        super().fire(value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.done:
+            self.sim.schedule(0.0, process._resume, self.value)
+        else:
+            super()._add_waiter(process)
+
+
+class WaitSignal:
+    """Command: suspend until ``signal`` fires; receives the fired value."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal):
+        self.signal = signal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitSignal({self.signal.name})"
+
+
+class Process:
+    """A running coroutine activity.
+
+    Create via :func:`spawn`.  A process is itself awaitable from another
+    process by yielding it (join semantics).
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_body",
+        "finished",
+        "result",
+        "_joiners",
+        "_pending_event",
+    )
+
+    def __init__(self, sim: Simulator, body: ProcessBody, name: str):
+        self.sim = sim
+        self.name = name
+        self._body = body
+        self.finished = False
+        self.result: Any = None
+        self._joiners: List["Process"] = []
+        self._pending_event: Optional[ScheduledEvent] = None
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._resume(None)
+
+    def _resume(self, value: Any) -> None:
+        """Advance the generator until it yields the next command."""
+        self._pending_event = None
+        try:
+            command = self._body.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self._pending_event = self.sim.schedule(command.ns, self._resume, None)
+        elif isinstance(command, WaitSignal):
+            command.signal._add_waiter(self)
+        elif isinstance(command, Process):
+            if command.finished:
+                self.sim.schedule(0.0, self._resume, command.result)
+            else:
+                command._joiners.append(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.sim.schedule(0.0, joiner._resume, result)
+
+    # ------------------------------------------------------------------
+    def interrupt(self) -> None:
+        """Throw :class:`ProcessInterrupt` into the process at its wait point.
+
+        Only legal while the process is suspended on a Delay; waits on
+        signals are not interruptible in this model (the model never needs
+        it and it would complicate signal bookkeeping).
+        """
+        if self.finished:
+            return
+        if self._pending_event is None:
+            raise SimulationError(
+                f"process {self.name!r} is not suspended on a Delay; cannot interrupt"
+            )
+        self._pending_event.cancel()
+        self._pending_event = None
+        try:
+            command = self._body.throw(ProcessInterrupt())
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except ProcessInterrupt:
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class ProcessInterrupt(Exception):
+    """Raised inside a process body when :meth:`Process.interrupt` is called."""
+
+
+def first_of(sim: Simulator, *signals: Signal) -> Completion:
+    """A completion that fires with ``(index, value)`` of whichever signal
+    fires first.  Later firings of the other signals are ignored.
+
+    Used to race an I/O completion against a timeout (the paper's §V
+    remedy for long-latency reads: a timeout-based exception).
+    """
+    result = Completion(sim, "first-of")
+
+    def waiter(signal: Signal, index: int) -> ProcessBody:
+        value = yield WaitSignal(signal)
+        if not result.done:
+            result.fire((index, value))
+
+    for index, signal in enumerate(signals):
+        spawn(sim, waiter(signal, index), f"first-of-{index}")
+    return result
+
+
+def timer(sim: Simulator, delay_ns: float, name: str = "timer") -> Completion:
+    """A completion that fires after ``delay_ns``."""
+    completion = Completion(sim, name)
+    sim.schedule(delay_ns, completion.fire, None)
+    return completion
+
+
+def spawn(sim: Simulator, body: ProcessBody, name: str = "process") -> Process:
+    """Create a process from a generator and start it at the current instant.
+
+    The first segment of the body runs from a zero-delay event, so the
+    spawner continues to run to completion first.
+    """
+    process = Process(sim, body, name)
+    sim.schedule(0.0, process._start)
+    return process

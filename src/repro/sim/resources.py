@@ -1,0 +1,175 @@
+"""Queueing resources built on processes and signals.
+
+These primitives carry the contention behaviour of the model:
+
+* :class:`Mutex` — in-order exclusive lock (page-table lock, PMSHR port in
+  the software-emulated SMU).
+* :class:`Server` — a k-server queueing station with deterministic or
+  callable service times (NVMe device channels, PCIe link).
+* :class:`FifoChannel` — a blocking producer/consumer queue (free-page
+  queue refill requests, block-layer request queues).
+
+All helpers are generator-style: callers ``yield from resource.acquire()``
+inside a process body.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Optional, Union
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Completion, Delay, WaitSignal
+
+
+class Mutex:
+    """An exclusive lock granting ownership in FIFO order.
+
+    Usage inside a process body::
+
+        yield from mutex.acquire()
+        try:
+            ...
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Completion] = deque()
+        #: Total number of acquisitions that had to wait (contention metric).
+        self.contended_acquires = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        if not self._locked:
+            self._locked = True
+            return
+        self.contended_acquires += 1
+        ticket = Completion(self.sim, f"{self.name}-ticket")
+        self._waiters.append(ticket)
+        yield WaitSignal(ticket)
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"mutex {self.name} released while unlocked")
+        if self._waiters:
+            # Hand the lock directly to the next waiter: stays locked.
+            self._waiters.popleft().fire()
+        else:
+            self._locked = False
+
+
+class Server:
+    """A station with ``capacity`` parallel servers and a FIFO queue.
+
+    ``yield from server.service(duration)`` models a job that occupies one
+    server for ``duration`` ns, queueing first if all servers are busy.
+    This is the building block for device-internal parallelism: an NVMe
+    device with 8 channels is ``Server(sim, capacity=8)``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "server"):
+        if capacity < 1:
+            raise SimulationError(f"server capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._busy = 0
+        self._waiters: Deque[Completion] = deque()
+        #: Aggregate busy time across all servers (for utilisation).
+        self.busy_time_ns = 0.0
+        self.jobs_served = 0
+        self.total_queue_wait_ns = 0.0
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def service(self, duration: Union[float, Callable[[], float]]) -> Generator[Any, Any, None]:
+        """Occupy one server for ``duration`` ns (callable → sampled at start)."""
+        enqueue_time = self.sim.now
+        if self._busy >= self.capacity:
+            ticket = Completion(self.sim, f"{self.name}-ticket")
+            self._waiters.append(ticket)
+            yield WaitSignal(ticket)
+        self._busy += 1
+        self.total_queue_wait_ns += self.sim.now - enqueue_time
+        service_time = duration() if callable(duration) else duration
+        try:
+            yield Delay(service_time)
+        finally:
+            self._busy -= 1
+            self.busy_time_ns += service_time
+            self.jobs_served += 1
+            if self._waiters:
+                self._waiters.popleft().fire()
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        """Mean fraction of servers busy over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_time_ns / (elapsed_ns * self.capacity)
+
+
+class FifoChannel:
+    """A bounded blocking FIFO between producer and consumer processes.
+
+    ``capacity=None`` gives an unbounded channel (puts never block).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "chan"):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"channel capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Completion] = deque()
+        self._putters: Deque[Completion] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def try_get(self) -> Any:
+        """Non-blocking get; raises IndexError when empty."""
+        item = self._items.popleft()
+        if self._putters:
+            self._putters.popleft().fire()
+        return item
+
+    def put(self, item: Any) -> Generator[Any, Any, None]:
+        """Blocking put (only blocks when the channel is bounded and full)."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            ticket = Completion(self.sim, f"{self.name}-put")
+            self._putters.append(ticket)
+            yield WaitSignal(ticket)
+        self._items.append(item)
+        if self._getters:
+            self._getters.popleft().fire()
+
+    def put_nowait(self, item: Any) -> None:
+        """Non-blocking put; raises on a full bounded channel."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError(f"channel {self.name} full")
+        self._items.append(item)
+        if self._getters:
+            self._getters.popleft().fire()
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Blocking get."""
+        while not self._items:
+            ticket = Completion(self.sim, f"{self.name}-get")
+            self._getters.append(ticket)
+            yield WaitSignal(ticket)
+        return self.try_get()

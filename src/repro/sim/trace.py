@@ -1,0 +1,112 @@
+"""Statistics recorders used by every experiment.
+
+Two flavours:
+
+* :class:`StatAccumulator` — streaming count/mean/min/max plus an optional
+  sample store for percentiles (all experiment sample counts are modest, so
+  full retention is fine).
+* :class:`Counter` — a simple named integer tally bag, used for perf-counter
+  style accounting (instructions, misses, faults by kind).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+
+class StatAccumulator:
+    """Accumulates scalar samples and reports summary statistics."""
+
+    def __init__(self, name: str = "stat", keep_samples: bool = True):
+        self.name = name
+        self.keep_samples = keep_samples
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        variance = (self.total_sq - self.total * self.total / self.count) / (self.count - 1)
+        return math.sqrt(max(variance, 0.0))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100]; requires samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> Dict[str, float]:
+        result = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+            "stddev": self.stddev,
+        }
+        if self.samples:
+            result["p50"] = self.percentile(50)
+            result["p99"] = self.percentile(99)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stat {self.name} n={self.count} mean={self.mean:.2f}>"
+
+
+class Counter:
+    """A bag of named integer tallies with dict-like access."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        for name, amount in other._counts.items():
+            self._counts[name] += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({dict(self._counts)!r})"

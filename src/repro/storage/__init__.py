@@ -1,0 +1,13 @@
+"""Storage substrate: NVMe devices, namespaces, queue pairs, latency models."""
+
+from repro.storage.latency import DeviceLatencyModel
+from repro.storage.nvme import Namespace, NVMeCommand, NVMeDevice, NVMeOpcode, QueuePair
+
+__all__ = [
+    "DeviceLatencyModel",
+    "NVMeDevice",
+    "NVMeCommand",
+    "NVMeOpcode",
+    "Namespace",
+    "QueuePair",
+]

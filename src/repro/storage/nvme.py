@@ -1,0 +1,222 @@
+"""NVMe device, namespaces, and queue pairs.
+
+The model follows the NVMe flow the paper relies on (§II-B, §III-C):
+
+* the host writes a 64-byte command into a submission queue (SQ) in memory
+  and rings the SQ doorbell (one PCIe register write);
+* the device fetches, executes, then writes a completion entry into the
+  completion queue (CQ) in memory;
+* completion is signalled either by an interrupt (OS-managed queues) or by
+  the SMU's completion unit snooping the CQ memory write (SMU queues have
+  interrupts disabled, §III-C).
+
+Both delivery styles map onto the queue pair's ``completion_signal``: the
+kernel's interrupt path and the SMU's snooper both wait on it; the *costs*
+they pay on wake-up differ and are charged by the respective consumers.
+
+Device-internal concurrency is a ``parallel_ops``-server station; reads are
+inflated while writes occupy slots (see :mod:`repro.storage.latency`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import BLOCKS_PER_PAGE, DeviceConfig
+from repro.errors import StorageError
+from repro.sim import FifoChannel, Server, Simulator, StatAccumulator, spawn
+from repro.storage.latency import DeviceLatencyModel
+
+
+class NVMeOpcode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class Namespace:
+    """A storage volume organised into logical blocks (one per file system)."""
+
+    nsid: int
+    capacity_blocks: int
+    #: Next unallocated block, for the simple bump allocator used by the
+    #: file-system model.
+    _next_free_block: int = 0
+
+    def allocate_blocks(self, count: int) -> int:
+        """Allocate ``count`` contiguous blocks, returning the first LBA."""
+        if self._next_free_block + count > self.capacity_blocks:
+            raise StorageError(
+                f"namespace {self.nsid}: out of blocks "
+                f"({self._next_free_block}+{count} > {self.capacity_blocks})"
+            )
+        lba = self._next_free_block
+        self._next_free_block += count
+        return lba
+
+    def allocate_page_blocks(self) -> int:
+        """Allocate one page worth of blocks (8 × 512 B)."""
+        return self.allocate_blocks(BLOCKS_PER_PAGE)
+
+    def check_lba(self, lba: int, blocks: int) -> None:
+        if not (0 <= lba and lba + blocks <= self.capacity_blocks):
+            raise StorageError(f"namespace {self.nsid}: LBA {lba} out of range")
+
+
+@dataclass
+class NVMeCommand:
+    """One 64-byte NVMe command (the subset the model needs)."""
+
+    opcode: NVMeOpcode
+    nsid: int
+    lba: int
+    blocks: int = BLOCKS_PER_PAGE
+    #: Command identifier — the SMU tags it with the PMSHR entry index so
+    #: completion can find the entry (§III-C).
+    cid: int = 0
+    #: Destination DMA address (the free page frame).
+    dma_addr: int = 0
+    submit_time_ns: float = 0.0
+    complete_time_ns: float = 0.0
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode is NVMeOpcode.WRITE
+
+    @property
+    def device_time_ns(self) -> float:
+        return self.complete_time_ns - self.submit_time_ns
+
+
+class QueuePair:
+    """An SQ/CQ pair.
+
+    ``interrupt_enabled`` distinguishes OS-managed queues from SMU queues;
+    the model's delivery mechanism is the same signal — consumers pay their
+    own costs (interrupt delivery vs. snoop) on wake-up.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qid: int,
+        depth: int = 1024,
+        interrupt_enabled: bool = True,
+        owner: str = "os",
+    ):
+        self.sim = sim
+        self.qid = qid
+        self.depth = depth
+        self.interrupt_enabled = interrupt_enabled
+        self.owner = owner
+        self.outstanding = 0
+        self.submitted = 0
+        self.completed = 0
+        #: Completed commands, in completion order.  A FIFO (rather than a
+        #: broadcast signal) guarantees no completion is ever lost when two
+        #: commands finish at the same instant; the consumer is the kernel's
+        #: interrupt handler or the SMU's completion unit.
+        self.cq = FifoChannel(sim, name=f"qp{qid}-cq")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QueuePair {self.qid} owner={self.owner} outstanding={self.outstanding}>"
+
+
+class NVMeDevice:
+    """One NVMe device with namespaces, queue pairs, and a service station."""
+
+    def __init__(self, sim: Simulator, config: DeviceConfig, rng, name: Optional[str] = None):
+        self.sim = sim
+        self.config = config
+        self.name = name or config.name
+        self.latency_model = DeviceLatencyModel(config, rng)
+        self._server = Server(sim, capacity=config.parallel_ops, name=f"{self.name}-srv")
+        self._writes_in_service = 0
+        self._qid_counter = itertools.count(1)
+        self.queue_pairs: Dict[int, QueuePair] = {}
+        self.namespaces: Dict[int, Namespace] = {}
+        # -- statistics ---------------------------------------------------
+        self.reads_completed = 0
+        self.writes_completed = 0
+        self.read_device_time = StatAccumulator("read-device-time")
+        self.write_device_time = StatAccumulator("write-device-time", keep_samples=False)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def create_namespace(self, capacity_blocks: int) -> Namespace:
+        nsid = len(self.namespaces) + 1
+        namespace = Namespace(nsid=nsid, capacity_blocks=capacity_blocks)
+        self.namespaces[nsid] = namespace
+        return namespace
+
+    def create_queue_pair(
+        self, depth: int = 1024, interrupt_enabled: bool = True, owner: str = "os"
+    ) -> QueuePair:
+        if len(self.queue_pairs) >= self.config.max_queue_pairs:
+            raise StorageError(f"{self.name}: queue-pair limit reached")
+        qid = next(self._qid_counter)
+        qp = QueuePair(self.sim, qid, depth, interrupt_enabled, owner)
+        self.queue_pairs[qid] = qp
+        return qp
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def submit(self, qp: QueuePair, command: NVMeCommand) -> None:
+        """Doorbell write arrived: device begins fetching the command.
+
+        The *caller* charges its own submission costs (building the command,
+        the doorbell write); this method starts device-side processing.
+        """
+        if qp.qid not in self.queue_pairs:
+            raise StorageError(f"{self.name}: unknown queue pair {qp.qid}")
+        if qp.outstanding >= qp.depth:
+            raise StorageError(f"{self.name}: queue {qp.qid} overflow")
+        namespace = self.namespaces.get(command.nsid)
+        if namespace is None:
+            raise StorageError(f"{self.name}: unknown namespace {command.nsid}")
+        namespace.check_lba(command.lba, command.blocks)
+        qp.outstanding += 1
+        qp.submitted += 1
+        command.submit_time_ns = self.sim.now
+        spawn(self.sim, self._execute(qp, command), f"{self.name}-cmd")
+
+    def _service_time(self, command: NVMeCommand) -> float:
+        if command.is_write:
+            self._writes_in_service += 1
+            duration = self.latency_model.write_service_ns()
+            self.sim.schedule(duration, self._write_done)
+        else:
+            occupancy = self._writes_in_service / self.config.parallel_ops
+            duration = self.latency_model.read_service_ns(occupancy)
+        return duration
+
+    def _write_done(self) -> None:
+        self._writes_in_service -= 1
+
+    def _execute(self, qp: QueuePair, command: NVMeCommand):
+        yield from self._server.service(lambda: self._service_time(command))
+        command.complete_time_ns = self.sim.now
+        qp.outstanding -= 1
+        qp.completed += 1
+        if command.is_write:
+            self.writes_completed += 1
+            self.write_device_time.add(command.device_time_ns)
+        else:
+            self.reads_completed += 1
+            self.read_device_time.add(command.device_time_ns)
+        # CQ entry write: this is the memory transaction the SMU snoops and
+        # the event the interrupt path is raised for.
+        qp.cq.put_nowait(command)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._server.busy + self._server.queue_length
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        return self._server.utilisation(elapsed_ns)

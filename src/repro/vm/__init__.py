@@ -1,0 +1,47 @@
+"""Virtual-memory substrate: LBA-augmented PTEs, page tables, TLB, MMU."""
+
+from repro.vm.mmu import Mmu, Translation, TranslationKind
+from repro.vm.page_table import PageTable, ScanReport, WalkResult
+from repro.vm.pte import (
+    DecodedPte,
+    PteStatus,
+    UpperStatus,
+    decode_pte,
+    describe_upper,
+    evict_to_lba,
+    hw_install_frame,
+    make_lba_pte,
+    make_present_pte,
+    make_swap_pte,
+    os_sync_metadata,
+    pte_status,
+    revert_to_normal,
+    table1_rows,
+    update_lba,
+)
+from repro.vm.tlb import Tlb
+
+__all__ = [
+    "PteStatus",
+    "UpperStatus",
+    "DecodedPte",
+    "decode_pte",
+    "describe_upper",
+    "make_present_pte",
+    "make_lba_pte",
+    "make_swap_pte",
+    "hw_install_frame",
+    "os_sync_metadata",
+    "evict_to_lba",
+    "revert_to_normal",
+    "update_lba",
+    "pte_status",
+    "table1_rows",
+    "PageTable",
+    "WalkResult",
+    "ScanReport",
+    "Tlb",
+    "Mmu",
+    "Translation",
+    "TranslationKind",
+]

@@ -1,0 +1,291 @@
+"""Four-level radix page table with LBA-augmented entries.
+
+Structure mirrors x86-64 (PGD → PUD → PMD → PT, 512 entries each).  Every
+table node occupies one synthetic *physical* page so entries have real
+addresses: the SMU receives ``(PUD-entry addr, PMD-entry addr, PTE addr)``
+with a page-miss request and later writes those addresses back, exactly as
+in §III-C of the paper.
+
+Upper-level entries (PGD/PUD/PMD) are encoded with the same bit layout as
+leaf PTEs: PRESENT set, the PFN field holding the child table's page number,
+and the LBA bit carrying Table I's "lower levels hold hardware-handled PTEs
+awaiting OS metadata sync" meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PageTableError
+from repro.mem.address import ENTRIES_PER_TABLE, LEVELS, PAGE_SHIFT, level_index
+from repro.vm.pte import LBA_BIT, PRESENT_BIT, make_present_pte
+
+#: Synthetic physical address region where page-table pages live, far above
+#: any data frame (data frames are small integers).  Keeping table pages in
+#: their own region simplifies bookkeeping while still giving every entry a
+#: unique, stable physical address.
+TABLE_REGION_BASE = 1 << 40
+
+LEVEL_NAMES = {3: "PGD", 2: "PUD", 1: "PMD", 0: "PT"}
+
+
+class _TableNode:
+    """One 4 KB page-table page at a given level."""
+
+    __slots__ = ("level", "base_addr", "entries", "children")
+
+    def __init__(self, level: int, base_addr: int):
+        self.level = level
+        self.base_addr = base_addr
+        self.entries: List[int] = [0] * ENTRIES_PER_TABLE
+        #: index → child node, only for levels > 0.
+        self.children: Dict[int, "_TableNode"] = {}
+
+    def entry_addr(self, index: int) -> int:
+        return self.base_addr + index * 8
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a page-table walk for one virtual address.
+
+    ``pte`` is the raw leaf value (0 when no leaf table exists).  The three
+    entry addresses are exactly the parameters an MMU sends to the SMU with
+    a page-miss request (§III-C); they are ``None`` while the corresponding
+    table has not been allocated.
+    """
+
+    vaddr: int
+    pte: int
+    pte_addr: Optional[int]
+    pmd_entry_addr: Optional[int]
+    pud_entry_addr: Optional[int]
+    #: Number of table levels actually touched (for walk-latency models).
+    levels_touched: int
+
+    @property
+    def complete(self) -> bool:
+        """True when a leaf table exists for this address."""
+        return self.pte_addr is not None
+
+
+class PageTable:
+    """One address space's 4-level page table."""
+
+    def __init__(self, asid: int = 0):
+        self.asid = asid
+        self._next_table_page = 0
+        self.root = self._new_node(LEVELS - 1)
+        #: base_addr → node, for physical-address entry access by the SMU.
+        self._nodes_by_base: Dict[int, _TableNode] = {self.root.base_addr: self.root}
+        #: Counters for the §IV-B space-overhead discussion.
+        self.table_pages_allocated = 1
+        self.populated_ptes = 0
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+    def _new_node(self, level: int) -> _TableNode:
+        base = TABLE_REGION_BASE + ((self.asid << 28) + self._next_table_page) * (1 << PAGE_SHIFT)
+        self._next_table_page += 1
+        return _TableNode(level, base)
+
+    def _child(self, node: _TableNode, index: int, create: bool) -> Optional[_TableNode]:
+        child = node.children.get(index)
+        if child is None and create:
+            child = self._new_node(node.level - 1)
+            node.children[index] = child
+            self._nodes_by_base[child.base_addr] = child
+            self.table_pages_allocated += 1
+            # Upper entry: present, PFN field = child table page number.
+            node.entries[index] = make_present_pte(
+                child.base_addr >> PAGE_SHIFT, writable=True, user=True
+            )
+        return child
+
+    # ------------------------------------------------------------------
+    # walking
+    # ------------------------------------------------------------------
+    def walk(self, vaddr: int) -> WalkResult:
+        """Walk the radix tree; never allocates tables."""
+        node = self.root
+        touched = 1
+        pud_entry_addr = pmd_entry_addr = pte_addr = None
+        for level in range(LEVELS - 1, 0, -1):
+            index = level_index(vaddr, level)
+            if level == 2:
+                pud_entry_addr = node.entry_addr(index)
+            elif level == 1:
+                pmd_entry_addr = node.entry_addr(index)
+            child = node.children.get(index)
+            if child is None:
+                return WalkResult(vaddr, 0, None, pmd_entry_addr, pud_entry_addr, touched)
+            node = child
+            touched += 1
+        index = level_index(vaddr, 0)
+        pte_addr = node.entry_addr(index)
+        return WalkResult(
+            vaddr, node.entries[index], pte_addr, pmd_entry_addr, pud_entry_addr, touched
+        )
+
+    def get_pte(self, vaddr: int) -> int:
+        """Raw leaf PTE value (0 when unmapped)."""
+        return self.walk(vaddr).pte
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_pte(self, vaddr: int, value: int) -> WalkResult:
+        """Write the leaf PTE, allocating intermediate tables as needed."""
+        node = self.root
+        pud_entry_addr = pmd_entry_addr = None
+        for level in range(LEVELS - 1, 0, -1):
+            index = level_index(vaddr, level)
+            if level == 2:
+                pud_entry_addr = node.entry_addr(index)
+            elif level == 1:
+                pmd_entry_addr = node.entry_addr(index)
+            node = self._child(node, index, create=True)
+        index = level_index(vaddr, 0)
+        was_populated = node.entries[index] != 0
+        node.entries[index] = value
+        if value != 0 and not was_populated:
+            self.populated_ptes += 1
+        elif value == 0 and was_populated:
+            self.populated_ptes -= 1
+        return WalkResult(
+            vaddr,
+            value,
+            node.entry_addr(index),
+            pmd_entry_addr,
+            pud_entry_addr,
+            LEVELS,
+        )
+
+    def clear_pte(self, vaddr: int) -> int:
+        """Zero the leaf PTE; returns the previous value (0 if none)."""
+        walk = self.walk(vaddr)
+        if not walk.complete:
+            return 0
+        previous = walk.pte
+        if previous != 0:
+            self.write_entry(walk.pte_addr, 0)
+        return previous
+
+    # ------------------------------------------------------------------
+    # physical-address entry access (the SMU's interface)
+    # ------------------------------------------------------------------
+    def _locate(self, entry_addr: int) -> Tuple[_TableNode, int]:
+        base = entry_addr & ~((1 << PAGE_SHIFT) - 1)
+        node = self._nodes_by_base.get(base)
+        if node is None:
+            raise PageTableError(f"no page-table page at address {entry_addr:#x}")
+        offset = entry_addr - base
+        if offset % 8:
+            raise PageTableError(f"misaligned entry address {entry_addr:#x}")
+        return node, offset // 8
+
+    def read_entry(self, entry_addr: int) -> int:
+        node, index = self._locate(entry_addr)
+        return node.entries[index]
+
+    def write_entry(self, entry_addr: int, value: int) -> None:
+        node, index = self._locate(entry_addr)
+        previous = node.entries[index]
+        node.entries[index] = value
+        if node.level == 0:
+            if value != 0 and previous == 0:
+                self.populated_ptes += 1
+            elif value == 0 and previous != 0:
+                self.populated_ptes -= 1
+
+    def set_entry_lba_bit(self, entry_addr: int) -> None:
+        """Set the LBA bit of an (upper-level) entry by address (§III-C)."""
+        node, index = self._locate(entry_addr)
+        node.entries[index] |= LBA_BIT
+
+    # ------------------------------------------------------------------
+    # kpted scan support (§IV-C)
+    # ------------------------------------------------------------------
+    def mark_sync_pending(self, vaddr: int) -> None:
+        """Set LBA bits in the PMD and PUD entries covering ``vaddr``."""
+        node = self.root
+        for level in range(LEVELS - 1, 0, -1):
+            index = level_index(vaddr, level)
+            child = node.children.get(index)
+            if child is None:
+                raise PageTableError(
+                    f"mark_sync_pending({vaddr:#x}): level {LEVEL_NAMES[level]} missing"
+                )
+            if level in (2, 1):  # PUD and PMD entries carry the marker
+                node.entries[index] |= LBA_BIT
+            node = child
+
+    def collect_pending_sync(self) -> "ScanReport":
+        """One kpted scan pass: find PTEs in RESIDENT_PENDING_SYNC state.
+
+        Implements the paper's pruned scan: a PUD/PMD entry whose LBA bit is
+        clear prunes everything below it; set bits are cleared *before*
+        descending (the paper's ordering guarantee).  Returns the found PTEs
+        plus visit counts for cost accounting.
+        """
+        report = ScanReport()
+        for pgd_index, pud_table in sorted(self.root.children.items()):
+            for pud_index in list(pud_table.children.keys()):
+                report.upper_visited += 1
+                if not pud_table.entries[pud_index] & LBA_BIT:
+                    continue
+                pud_table.entries[pud_index] &= ~LBA_BIT
+                pmd_table = pud_table.children[pud_index]
+                for pmd_index in list(pmd_table.children.keys()):
+                    report.upper_visited += 1
+                    if not pmd_table.entries[pmd_index] & LBA_BIT:
+                        continue
+                    pmd_table.entries[pmd_index] &= ~LBA_BIT
+                    leaf = pmd_table.children[pmd_index]
+                    for pte_index in range(ENTRIES_PER_TABLE):
+                        value = leaf.entries[pte_index]
+                        report.ptes_visited += 1
+                        if value & PRESENT_BIT and value & LBA_BIT:
+                            vpn = self._vpn_of(pgd_index, pud_index, pmd_index, pte_index)
+                            report.pending.append((vpn, leaf.entry_addr(pte_index)))
+        return report
+
+    @staticmethod
+    def _vpn_of(pgd_index: int, pud_index: int, pmd_index: int, pte_index: int) -> int:
+        return (
+            (pgd_index << 27) | (pud_index << 18) | (pmd_index << 9) | pte_index
+        )
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def iter_populated(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(vpn, pte_value)`` for every non-zero leaf entry."""
+        for pgd_index, pud_table in sorted(self.root.children.items()):
+            for pud_index, pmd_table in sorted(pud_table.children.items()):
+                for pmd_index, leaf in sorted(pmd_table.children.items()):
+                    for pte_index in range(ENTRIES_PER_TABLE):
+                        value = leaf.entries[pte_index]
+                        if value != 0:
+                            yield self._vpn_of(
+                                pgd_index, pud_index, pmd_index, pte_index
+                            ), value
+
+    def resident_pages(self) -> int:
+        """Number of present leaf PTEs."""
+        return sum(1 for _, value in self.iter_populated() if value & PRESENT_BIT)
+
+
+class ScanReport:
+    """Result of one kpted scan pass over a page table."""
+
+    def __init__(self) -> None:
+        self.pending: List[Tuple[int, int]] = []  # (vpn, pte_addr)
+        self.upper_visited = 0
+        self.ptes_visited = 0
+
+    @property
+    def found(self) -> int:
+        return len(self.pending)

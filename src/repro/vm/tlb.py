@@ -1,0 +1,65 @@
+"""A simple fully-associative LRU TLB model.
+
+One TLB instance per logical core.  The model only needs hit/miss behaviour
+(a hit skips the page-table walk; a miss triggers one) plus invalidation for
+unmap/eviction shootdowns; replacement is LRU over virtual page numbers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class Tlb:
+    """Maps VPN → (PFN, writable) with LRU replacement."""
+
+    def __init__(self, entries: int = 1536):
+        if entries < 1:
+            raise ConfigError("TLB needs at least one entry")
+        self.capacity = entries
+        self._map: "OrderedDict[int, Tuple[int, bool]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, vpn: int) -> Optional[Tuple[int, bool]]:
+        """Return ``(pfn, writable)`` on hit, None on miss."""
+        entry = self._map.get(vpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._map.move_to_end(vpn)
+        self.hits += 1
+        return entry
+
+    def fill(self, vpn: int, pfn: int, writable: bool) -> None:
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+        elif len(self._map) >= self.capacity:
+            self._map.popitem(last=False)
+        self._map[vpn] = (pfn, writable)
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop one translation; returns True if it was cached."""
+        if vpn in self._map:
+            del self._map[vpn]
+            self.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop everything (context switch to a new address space)."""
+        self.invalidations += len(self._map)
+        self._map.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._map)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,52 @@
+"""DBBench ``readrandom`` on the KV store (paper §VI-C).
+
+Uniformly random point reads — RocksDB's own benchmarking tool, which the
+paper runs with four million 4 KB-record operations over a 64 GB dataset.
+Uniform keys make the page-miss rate track the dataset:memory ratio
+directly, which is why DBBench (like FIO) shows the largest gains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.system import System
+from repro.cpu.thread import ThreadContext
+from repro.workloads.base import WorkloadDriver
+from repro.workloads.distributions import UniformGenerator
+from repro.workloads.kvstore import KVStore
+
+
+class DbBenchReadRandom(WorkloadDriver):
+    """`db_bench --benchmarks=readrandom`."""
+
+    name = "dbbench-readrandom"
+
+    def __init__(self, ops_per_thread: int, num_records: int, fastmap: bool = True):
+        super().__init__()
+        self.ops_per_thread = ops_per_thread
+        self.num_records = num_records
+        self.fastmap = fastmap
+        self.store = None
+
+    def _setup(self, system: System, num_threads: int) -> None:
+        process = system.create_process("dbbench")
+        self.threads = [
+            system.workload_thread(process, index, name=f"dbbench-{index}")
+            for index in range(num_threads)
+        ]
+        self.store = KVStore(system, name="dbbench-db", num_records=self.num_records)
+        self.run_setup_coroutine(
+            system, self.store.open(self.threads[0], fastmap=self.fastmap)
+        )
+
+    def _thread_body(self, thread: ThreadContext, index: int) -> Generator[Any, Any, None]:
+        rng = self.system.rng.stream(f"dbbench-keys-{index}")
+        keys = UniformGenerator(self.num_records, rng)
+        latency = self._new_latency_stat(index)
+        sim = self.system.sim
+        for _ in range(self.ops_per_thread):
+            started = sim.now
+            yield from self.store.get(thread, keys.next())
+            latency.add(sim.now - started)
+            thread.note_operation()

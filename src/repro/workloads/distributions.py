@@ -1,0 +1,157 @@
+"""Key-distribution generators (YCSB-compatible).
+
+Implements the generators the paper's workloads rely on:
+
+* uniform — FIO random read, DBBench readrandom;
+* zipfian — YCSB A/B/C/E/F request distribution (Gray's algorithm, as in
+  the YCSB reference implementation, constant 0.99);
+* scrambled zipfian — zipfian rank hashed over the key space so popular
+  keys are spread out (what YCSB actually uses for reads);
+* latest — YCSB D: recently inserted records are most popular.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: YCSB's default zipfian constant.
+ZIPFIAN_CONSTANT = 0.99
+#: FNV-1a 64-bit offset/prime, used by YCSB's scrambling hash.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 bytes (YCSB's scrambling function)."""
+    result = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        result ^= octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class UniformGenerator:
+    """Uniform keys over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: np.random.Generator):
+        if item_count < 1:
+            raise WorkloadError("need at least one item")
+        self.item_count = item_count
+        self.rng = rng
+
+    def next(self) -> int:
+        return int(self.rng.integers(0, self.item_count))
+
+
+class ZipfianGenerator:
+    """Gray et al.'s quick zipfian sampler (the YCSB implementation).
+
+    Rank 0 is the most popular item.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        rng: np.random.Generator,
+        theta: float = ZIPFIAN_CONSTANT,
+    ):
+        if item_count < 1:
+            raise WorkloadError("need at least one item")
+        if not 0 < theta < 1:
+            raise WorkloadError("zipfian theta must be in (0, 1)")
+        self.item_count = item_count
+        self.rng = rng
+        self.theta = theta
+        self.zeta_n = self._zeta(item_count, theta)
+        self.zeta_2 = self._zeta(min(2, item_count), theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        if item_count <= 2:
+            # Gray's closed form degenerates (0/0) for one or two items;
+            # tiny populations fall back to exact inverse-CDF sampling.
+            self.eta = None
+            self._cdf = []
+            acc = 0.0
+            for rank in range(item_count):
+                acc += (1.0 / ((rank + 1) ** theta)) / self.zeta_n
+                self._cdf.append(acc)
+        else:
+            self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+                1 - self.zeta_2 / self.zeta_n
+            )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = float(self.rng.random())
+        if self.eta is None:
+            for rank, bound in enumerate(self._cdf):
+                if u < bound:
+                    return rank
+            return self.item_count - 1
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scattered over the item space via FNV hashing."""
+
+    def __init__(
+        self,
+        item_count: int,
+        rng: np.random.Generator,
+        theta: float = ZIPFIAN_CONSTANT,
+    ):
+        self.item_count = item_count
+        self._zipfian = ZipfianGenerator(item_count, rng, theta)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipfian.next()) % self.item_count
+
+
+class LatestGenerator:
+    """YCSB's latest distribution: zipfian over recency.
+
+    ``insert_cursor`` is a callable returning the current number of items;
+    a sample of rank ``r`` maps to item ``count - 1 - r``.
+    """
+
+    def __init__(self, insert_cursor, rng: np.random.Generator,
+                 theta: float = ZIPFIAN_CONSTANT):
+        self._cursor = insert_cursor
+        self.rng = rng
+        self.theta = theta
+        self._zipfian = None
+        self._zipfian_n = 0
+
+    def next(self) -> int:
+        count = int(self._cursor())
+        if count < 1:
+            raise WorkloadError("latest distribution over an empty store")
+        # Rebuild the underlying zipfian lazily as the store grows (zeta is
+        # monotone; exact rebuild at ≥5 % growth keeps cost negligible).
+        if self._zipfian is None or count > self._zipfian_n * 1.05:
+            self._zipfian = ZipfianGenerator(count, self.rng, self.theta)
+            self._zipfian_n = count
+        rank = self._zipfian.next()
+        if rank >= count:
+            rank = count - 1
+        return count - 1 - rank
+
+
+def uniform_scan_length(rng: np.random.Generator, max_length: int) -> int:
+    """YCSB-E scan lengths: uniform in [1, max_length]."""
+    if max_length < 1:
+        raise WorkloadError("scan length must be at least 1")
+    return int(rng.integers(1, max_length + 1))

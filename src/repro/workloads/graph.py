@@ -1,0 +1,158 @@
+"""Semi-external graph analytics over a memory-mapped adjacency file.
+
+The paper's introduction motivates fast file mmap with exactly this class
+of application (its citations [57][58]: Pearce et al.'s semi-external
+graph traversals): the adjacency lists of a scale-free graph live in a
+file much larger than memory, the traversal mmaps it, and every frontier
+expansion demand-pages an unpredictable set of adjacency pages.
+
+The driver runs breadth-first search over a synthetic power-law graph:
+
+* vertex degrees follow a zipfian-ish distribution (hash-derived, so the
+  graph is deterministic per size — no giant edge list is materialised);
+* neighbour IDs are hash-generated on the fly (FNV of (vertex, slot));
+* adjacency bytes are laid out CSR-style in the data file, so expanding
+  vertex *v* touches its extent's page range through the mapping.
+
+BFS's access pattern is the adversarial case for prefetchers and the
+motivating case for low-latency demand paging: page misses are on the
+critical path of every frontier expansion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+import numpy as np
+
+from repro.core.system import System
+from repro.cpu.thread import ThreadContext
+from repro.errors import WorkloadError
+from repro.mem.address import PAGE_SHIFT
+from repro.os.vma import MmapFlags
+from repro.workloads.base import WorkloadDriver
+from repro.workloads.distributions import fnv1a_64
+
+#: Bytes per adjacency entry (a 64-bit neighbour ID).
+EDGE_BYTES = 8
+#: User work per visited vertex (queue ops, visited-set update).
+VERTEX_INSTRUCTIONS = 900
+#: User work per scanned edge (load, compare, conditional push).
+EDGE_INSTRUCTIONS = 35
+
+
+class SyntheticGraph:
+    """A deterministic scale-free graph with CSR layout in a file."""
+
+    def __init__(self, num_vertices: int, avg_degree: int = 8, max_degree: int = 256):
+        if num_vertices < 2:
+            raise WorkloadError("graph needs at least two vertices")
+        self.num_vertices = num_vertices
+        self.avg_degree = avg_degree
+        # Power-law-ish degrees: a hash-ranked zipf, clipped, rescaled to
+        # the requested average.
+        ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+        raw = 1.0 / np.sqrt(ranks)
+        degrees = np.minimum(
+            np.maximum((raw / raw.mean()) * avg_degree, 1.0), max_degree
+        ).astype(np.int64)
+        # Scatter the heavy vertices over the ID space (hash order).
+        order = np.argsort([fnv1a_64(v) for v in range(num_vertices)])
+        self.degrees = np.empty(num_vertices, dtype=np.int64)
+        self.degrees[order] = degrees
+        #: CSR byte offsets of each vertex's adjacency extent.
+        self.offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(self.degrees * EDGE_BYTES, out=self.offsets[1:])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.degrees.sum())
+
+    @property
+    def file_pages(self) -> int:
+        return int((self.offsets[-1] + 4095) >> PAGE_SHIFT) + 1
+
+    def degree(self, vertex: int) -> int:
+        return int(self.degrees[vertex])
+
+    def neighbours(self, vertex: int) -> List[int]:
+        """Hash-generated neighbour list (deterministic, never stored)."""
+        return [
+            fnv1a_64(vertex * 1_000_003 + slot) % self.num_vertices
+            for slot in range(self.degree(vertex))
+        ]
+
+    def adjacency_pages(self, vertex: int) -> range:
+        """File pages holding ``vertex``'s adjacency extent."""
+        start = int(self.offsets[vertex]) >> PAGE_SHIFT
+        last = max(int(self.offsets[vertex + 1]) - 1, int(self.offsets[vertex]))
+        return range(start, (last >> PAGE_SHIFT) + 1)
+
+
+class GraphBFS(WorkloadDriver):
+    """Parallel-source BFS: each thread expands from its own seed vertex."""
+
+    name = "graph-bfs"
+
+    def __init__(
+        self,
+        num_vertices: int,
+        avg_degree: int = 8,
+        max_vertices_visited: int = 400,
+        fastmap: bool = True,
+    ):
+        super().__init__()
+        self.graph = SyntheticGraph(num_vertices, avg_degree)
+        self.max_vertices_visited = max_vertices_visited
+        self.fastmap = fastmap
+        self.vma = None
+        self.visited_counts: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _setup(self, system: System, num_threads: int) -> None:
+        process = system.create_process("graph")
+        file = system.kernel.fs.create_file("graph.adj", self.graph.file_pages)
+        self.threads = [
+            system.workload_thread(process, index, name=f"bfs-{index}")
+            for index in range(num_threads)
+        ]
+        flags = MmapFlags.FASTMAP if self.fastmap else MmapFlags.NONE
+        self.vma = self.run_setup_coroutine(
+            system,
+            system.kernel.sys_mmap(
+                self.threads[0], file, self.graph.file_pages, flags
+            ),
+        )
+
+    def _thread_body(self, thread: ThreadContext, index: int) -> Generator[Any, Any, None]:
+        graph = self.graph
+        latency = self._new_latency_stat(index)
+        sim = self.system.sim
+        seed_vertex = fnv1a_64(0xB0F5 + index) % graph.num_vertices
+        visited = {seed_vertex}
+        frontier = [seed_vertex]
+        expanded = 0
+
+        while frontier and expanded < self.max_vertices_visited:
+            next_frontier: List[int] = []
+            for vertex in frontier:
+                if expanded >= self.max_vertices_visited:
+                    break
+                started = sim.now
+                # Touch the adjacency extent through the mapping.
+                for page in graph.adjacency_pages(vertex):
+                    yield from thread.mem_access(
+                        self.vma.start + (page << PAGE_SHIFT)
+                    )
+                yield from thread.compute(
+                    VERTEX_INSTRUCTIONS + EDGE_INSTRUCTIONS * graph.degree(vertex)
+                )
+                for neighbour in graph.neighbours(vertex):
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        next_frontier.append(neighbour)
+                latency.add(sim.now - started)
+                thread.note_operation()
+                expanded += 1
+            frontier = next_frontier
+        self.visited_counts.append(len(visited))

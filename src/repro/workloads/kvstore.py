@@ -1,0 +1,192 @@
+"""An mmap-backed key-value store — the model's RocksDB stand-in.
+
+Matches the access behaviour the paper's evaluation depends on:
+
+* **reads** go through the memory-mapped data file (one 4 KB record per
+  page, as in the paper's 4 KB-record DBBench/YCSB configurations), so a
+  cold read demand-pages through whichever paging mode the machine runs;
+* **updates/inserts** follow the LSM discipline: they land in an in-memory
+  memtable and append to a write-ahead log (group-committed device writes);
+  every ``flush_every`` writes, a memtable flush plus its share of
+  compaction rewrites a burst of SST pages (``sst_flush_pages``, default
+  1.5× write amplification) — so write-heavy workloads generate the device
+  write traffic that inflates read latency (§VI-C's explanation for
+  YCSB-A/D's smaller gains);
+* **scans** read consecutive records through the mapping (YCSB-E).
+
+The store is deliberately not a full LSM tree: compaction, bloom filters
+and levels affect constants, not the demand-paging behaviour under study.
+The in-memory index maps key → file page, as RocksDB's table cache +
+index blocks would after warm-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.system import System
+from repro.cpu.thread import ThreadContext
+from repro.errors import WorkloadError
+from repro.mem.address import PAGE_SHIFT
+from repro.os.filesystem import File
+from repro.os.vma import MmapFlags, Vma
+
+#: Per-operation user-side instruction costs (index probe, comparisons,
+#: value copy, memtable ops).  ~3.5 µs of compute per get at base IPC —
+#: RocksDB-class point-read cost, the compute intensity that separates
+#: DBBench/YCSB from raw FIO.
+GET_INDEX_INSTRUCTIONS = 12_000
+GET_COPY_INSTRUCTIONS = 8_000
+PUT_INSTRUCTIONS = 7_500
+SCAN_PER_RECORD_INSTRUCTIONS = 2_600
+
+
+class KVStore:
+    """One store instance inside one process."""
+
+    def __init__(
+        self,
+        system: System,
+        name: str = "db",
+        num_records: int = 8192,
+        capacity_headroom: float = 1.25,
+        wal_pages: int = 1024,
+        flush_every: int = 32,
+        sst_flush_pages: int = 48,
+        wal_batch: int = 8,
+        memtable_capacity: int = 1024,
+    ):
+        if num_records < 1:
+            raise WorkloadError("store needs at least one record")
+        self.system = system
+        self.name = name
+        self.num_records = num_records
+        self.capacity = int(num_records * capacity_headroom)
+        self.flush_every = flush_every
+        self.sst_flush_pages = sst_flush_pages
+        #: Group commit: one WAL device write per this many updates
+        #: (RocksDB batches concurrent commits onto one log write).
+        self.wal_batch = max(1, wal_batch)
+        #: Keys whose latest value still lives in the memtable — reads of
+        #: these are pure memory operations, no mmap access (LSM semantics).
+        self.memtable_capacity = memtable_capacity
+        self._memtable: "dict[int, None]" = {}
+        kernel = system.kernel
+        self.data_file: File = kernel.fs.create_file(f"{name}.data", self.capacity)
+        self.wal_file: File = kernel.fs.create_file(f"{name}.wal", wal_pages)
+        self.vma: Optional[Vma] = None
+        self._wal_cursor = 0
+        self._writes_since_flush = 0
+        self._puts_since_wal_write = 0
+        self.gets = 0
+        self.puts = 0
+        self.inserts = 0
+        self.scans = 0
+        self.memtable_hits = 0
+
+    # ------------------------------------------------------------------
+    def open(
+        self, thread: ThreadContext, fastmap: bool = True, populate: bool = False
+    ) -> Generator[Any, Any, None]:
+        """mmap the data file (the paper's fast-mmap target, §IV-B)."""
+        flags = MmapFlags.NONE
+        if fastmap:
+            flags |= MmapFlags.FASTMAP
+        if populate:
+            flags |= MmapFlags.POPULATE
+        self.vma = yield from self.system.kernel.sys_mmap(
+            thread, self.data_file, self.capacity, flags
+        )
+
+    def _record_vaddr(self, key: int) -> int:
+        if self.vma is None:
+            raise WorkloadError(f"store {self.name!r} is not open")
+        if not 0 <= key < self.capacity:
+            raise WorkloadError(f"key {key} out of range")
+        return self.vma.start + (key << PAGE_SHIFT)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def get(self, thread: ThreadContext, key: int) -> Generator[Any, Any, None]:
+        """Point read: memtable first, then the mapped data file."""
+        key %= self.num_records
+        yield from thread.compute(GET_INDEX_INSTRUCTIONS)
+        if key in self._memtable:
+            # Freshly written value still in the memtable: memory-only read.
+            self.memtable_hits += 1
+        else:
+            yield from thread.mem_access(self._record_vaddr(key))
+        yield from thread.compute(GET_COPY_INSTRUCTIONS)
+        self.gets += 1
+
+    def put(self, thread: ThreadContext, key: int) -> Generator[Any, Any, None]:
+        """Update: memtable insert + (group-committed) WAL append."""
+        key %= self.num_records
+        yield from thread.compute(PUT_INSTRUCTIONS)
+        yield from self._log_write(thread)
+        self._memtable_insert(key)
+        self.puts += 1
+        yield from self._maybe_flush(thread)
+
+    def insert(self, thread: ThreadContext) -> Generator[Any, Any, int]:
+        """Append a fresh record (YCSB-D/E insert); returns its key."""
+        if self.num_records >= self.capacity:
+            # Store full: recycle the oldest key (keeps long runs bounded).
+            key = self.inserts % self.capacity
+        else:
+            key = self.num_records
+            self.num_records += 1
+        yield from thread.compute(PUT_INSTRUCTIONS)
+        yield from self._log_write(thread)
+        self._memtable_insert(key)
+        self.inserts += 1
+        yield from self._maybe_flush(thread)
+        return key
+
+    def _memtable_insert(self, key: int) -> None:
+        self._memtable[key] = None
+        while len(self._memtable) > self.memtable_capacity:
+            self._memtable.pop(next(iter(self._memtable)))
+
+    def _log_write(self, thread: ThreadContext) -> Generator[Any, Any, None]:
+        """Group commit: one WAL device write per ``wal_batch`` updates."""
+        self._puts_since_wal_write += 1
+        if self._puts_since_wal_write < self.wal_batch:
+            return
+        self._puts_since_wal_write = 0
+        yield from self.system.kernel.file_write(
+            thread, self.wal_file, self._wal_cursor
+        )
+        self._wal_cursor = (self._wal_cursor + 1) % self.wal_file.num_pages
+
+    def read_modify_write(self, thread: ThreadContext, key: int) -> Generator[Any, Any, None]:
+        """YCSB-F's RMW: a get followed by a put of the same key."""
+        yield from self.get(thread, key)
+        yield from self.put(thread, key)
+
+    def scan(
+        self, thread: ThreadContext, start_key: int, length: int
+    ) -> Generator[Any, Any, None]:
+        """Range read of ``length`` consecutive records (YCSB-E)."""
+        start_key %= self.num_records
+        yield from thread.compute(GET_INDEX_INSTRUCTIONS)
+        for offset in range(length):
+            key = (start_key + offset) % self.num_records
+            yield from thread.mem_access(self._record_vaddr(key))
+            yield from thread.compute(SCAN_PER_RECORD_INSTRUCTIONS)
+        self.scans += 1
+
+    # ------------------------------------------------------------------
+    def _maybe_flush(self, thread: ThreadContext) -> Generator[Any, Any, None]:
+        """Memtable flush: a burst of SST-file device writes."""
+        self._writes_since_flush += 1
+        if self._writes_since_flush < self.flush_every:
+            return
+        self._writes_since_flush = 0
+        for page in range(self.sst_flush_pages):
+            yield from self.system.kernel.file_write(
+                thread, self.wal_file, (self._wal_cursor + page) % self.wal_file.num_pages
+            )
+        # Flushed keys stay readable from memory for a while (block cache
+        # of the fresh SST); retention is bounded by memtable_capacity.

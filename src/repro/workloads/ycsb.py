@@ -1,0 +1,164 @@
+"""YCSB core workloads A–F over the KV store (paper §VI-C).
+
+Standard mixes (Cooper et al. [18]):
+
+========  =============================  ==========================
+workload  operation mix                  request distribution
+========  =============================  ==========================
+A         50 % read / 50 % update        scrambled zipfian
+B         95 % read /  5 % update        scrambled zipfian
+C         100 % read                     scrambled zipfian
+D         95 % read /  5 % insert        latest
+E         95 % scan /  5 % insert        scrambled zipfian
+F         50 % read / 50 % RMW           scrambled zipfian
+========  =============================  ==========================
+
+The paper reports A, B, C, D and F in Figure 13 (C gains the most — it is
+the only read-only mix; write-carrying mixes suffer read-latency inflation
+from SSD write contention).  E is implemented for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Tuple
+
+from repro.core.system import System
+from repro.cpu.thread import ThreadContext
+from repro.errors import WorkloadError
+from repro.workloads.base import WorkloadDriver
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    uniform_scan_length,
+)
+from repro.workloads.kvstore import KVStore
+
+
+@dataclass(frozen=True)
+class YcsbMix:
+    """Operation proportions of one core workload."""
+
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"  # or "latest"
+
+    def validate(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"operation mix sums to {total}, expected 1.0")
+
+
+YCSB_MIXES = {
+    "A": YcsbMix(read=0.5, update=0.5),
+    "B": YcsbMix(read=0.95, update=0.05),
+    "C": YcsbMix(read=1.0),
+    "D": YcsbMix(read=0.95, insert=0.05, distribution="latest"),
+    "E": YcsbMix(scan=0.95, insert=0.05),
+    "F": YcsbMix(read=0.5, rmw=0.5),
+}
+
+#: YCSB-E maximum scan length (scaled down from YCSB's default 100 to keep
+#: scaled-dataset scans from spanning a large fraction of memory).
+MAX_SCAN_LENGTH = 16
+
+
+class YcsbWorkload(WorkloadDriver):
+    """One YCSB core workload on the KV store."""
+
+    def __init__(
+        self,
+        workload: str,
+        ops_per_thread: int,
+        num_records: int,
+        fastmap: bool = True,
+        populate: bool = False,
+    ):
+        super().__init__()
+        workload = workload.upper()
+        if workload not in YCSB_MIXES:
+            raise WorkloadError(f"unknown YCSB workload {workload!r}")
+        self.workload = workload
+        self.mix = YCSB_MIXES[workload]
+        self.mix.validate()
+        self.name = f"ycsb-{workload.lower()}"
+        self.ops_per_thread = ops_per_thread
+        self.num_records = num_records
+        self.fastmap = fastmap
+        self.populate = populate
+        self.store = None
+
+    # ------------------------------------------------------------------
+    def _setup(self, system: System, num_threads: int) -> None:
+        process = system.create_process(self.name)
+        self.threads = [
+            system.workload_thread(process, index, name=f"{self.name}-{index}")
+            for index in range(num_threads)
+        ]
+        self.store = KVStore(system, name=f"{self.name}-db", num_records=self.num_records)
+        self.run_setup_coroutine(
+            system,
+            self.store.open(
+                self.threads[0], fastmap=self.fastmap, populate=self.populate
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _make_key_source(self, index: int) -> Callable[[], int]:
+        rng = self.system.rng.stream(f"{self.name}-keys-{index}")
+        if self.mix.distribution == "latest":
+            generator = LatestGenerator(lambda: self.store.num_records, rng)
+        else:
+            generator = ScrambledZipfianGenerator(self.num_records, rng)
+        return generator.next
+
+    def _thread_body(self, thread: ThreadContext, index: int) -> Generator[Any, Any, None]:
+        op_rng = self.system.rng.stream(f"{self.name}-ops-{index}")
+        next_key = self._make_key_source(index)
+        latency = self._new_latency_stat(index)
+        chooser = _OperationChooser(self.mix)
+        store = self.store
+        sim = self.system.sim
+        for _ in range(self.ops_per_thread):
+            started = sim.now
+            operation = chooser.choose(float(op_rng.random()))
+            if operation == "read":
+                yield from store.get(thread, next_key())
+            elif operation == "update":
+                yield from store.put(thread, next_key())
+            elif operation == "insert":
+                yield from store.insert(thread)
+            elif operation == "scan":
+                length = uniform_scan_length(op_rng, MAX_SCAN_LENGTH)
+                yield from store.scan(thread, next_key(), length)
+            else:  # rmw
+                yield from store.read_modify_write(thread, next_key())
+            latency.add(sim.now - started)
+            thread.note_operation()
+
+
+class _OperationChooser:
+    """Maps a uniform sample to an operation per the mix proportions."""
+
+    def __init__(self, mix: YcsbMix):
+        self._cumulative: List[Tuple[float, str]] = []
+        acc = 0.0
+        for name, weight in (
+            ("read", mix.read),
+            ("update", mix.update),
+            ("insert", mix.insert),
+            ("scan", mix.scan),
+            ("rmw", mix.rmw),
+        ):
+            if weight > 0:
+                acc += weight
+                self._cumulative.append((acc, name))
+
+    def choose(self, sample: float) -> str:
+        for threshold, name in self._cumulative:
+            if sample < threshold:
+                return name
+        return self._cumulative[-1][1]

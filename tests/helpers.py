@@ -1,0 +1,99 @@
+"""Shared test helpers: tiny system configurations and access loops."""
+
+from __future__ import annotations
+
+from repro.config import (
+    ControlPlaneConfig,
+    CpuConfig,
+    DeviceConfig,
+    MemoryConfig,
+    PagingMode,
+    SmuConfig,
+    SystemConfig,
+)
+from repro.core.system import System, build_system
+from repro.mem.address import PAGE_SHIFT
+from repro.os.vma import MmapFlags
+
+
+def tiny_config(
+    mode: PagingMode,
+    total_frames: int = 512,
+    device_read_ns: float = 10_000.0,
+    free_queue_depth: int = 64,
+    kpted_period_ns: float = 200_000.0,
+    kpoold_period_ns: float = 50_000.0,
+    kpoold_enabled: bool = True,
+    pmshr_entries: int = 32,
+    kswapd_enabled: bool = True,
+) -> SystemConfig:
+    """A small, deterministic machine for unit/integration tests."""
+    return SystemConfig(
+        mode=mode,
+        cpu=CpuConfig(physical_cores=4, smt_ways=2),
+        device=DeviceConfig(
+            name="test-ssd",
+            read_latency_ns=device_read_ns,
+            write_latency_ns=device_read_ns * 1.3,
+            parallel_ops=4,
+            latency_sigma=0.0,
+        ),
+        memory=MemoryConfig(total_frames=total_frames),
+        smu=SmuConfig(free_page_queue_depth=free_queue_depth, pmshr_entries=pmshr_entries),
+        control_plane=ControlPlaneConfig(
+            kpted_period_ns=kpted_period_ns,
+            kpoold_period_ns=kpoold_period_ns,
+            kpoold_enabled=kpoold_enabled,
+            kswapd_enabled=kswapd_enabled,
+        ),
+    )
+
+
+def build_mapped_system(
+    mode: PagingMode,
+    file_pages: int = 64,
+    flags: MmapFlags = MmapFlags.FASTMAP,
+    **config_kwargs,
+):
+    """Build a system with one process, one thread, and one mapped file.
+
+    Returns ``(system, thread, vma)`` with the mmap already performed (its
+    syscall cost has been charged but the clock is then what it is).
+    """
+    system = build_system(tiny_config(mode, **config_kwargs))
+    process = system.create_process("app")
+    thread = system.workload_thread(process, index=0)
+    file = system.kernel.fs.create_file("data", file_pages)
+    holder = {}
+
+    def do_mmap():
+        vma = yield from system.kernel.sys_mmap(thread, file, file_pages, flags)
+        holder["vma"] = vma
+
+    proc = system.spawn(do_mmap(), "mmap")
+    while not proc.finished:
+        if not system.sim.step():
+            raise RuntimeError("mmap never finished")
+    return system, thread, holder["vma"]
+
+
+def touch_pages(system: System, thread, vma, page_indices, is_write=False):
+    """Run a coroutine touching the given VMA page indices sequentially.
+
+    Returns the list of Translation results.  Unlike :meth:`System.run`,
+    this does NOT shut the kernel daemons down afterwards, so tests can
+    keep simulating kpted/kpoold activity.
+    """
+    results = []
+
+    def body():
+        for index in page_indices:
+            vaddr = vma.start + (index << PAGE_SHIFT)
+            translation = yield from thread.mem_access(vaddr, is_write)
+            results.append(translation)
+
+    proc = system.spawn(body(), "touch")
+    while not proc.finished:
+        if not system.sim.step():
+            raise RuntimeError("touch_pages stalled: a wait was lost")
+    return results

@@ -1,0 +1,109 @@
+"""Tests for the analysis subpackage (run reports, comparisons)."""
+
+import pytest
+
+from repro.analysis import (
+    LatencySummary,
+    RunReport,
+    compare_runs,
+    comparison_text,
+    summarize,
+)
+from repro.config import PagingMode
+from repro.sim import StatAccumulator
+from repro.workloads import FioRandomRead
+
+from tests.helpers import tiny_config
+from repro.core.system import build_system
+
+
+def run_fio(mode, ops=40, threads=1):
+    system = build_system(tiny_config(mode, total_frames=2048, free_queue_depth=128))
+    driver = FioRandomRead(ops_per_thread=ops, file_pages=4096)
+    driver.prepare(system, num_threads=threads)
+    start = system.sim.now
+    system.run(driver.launch(system))
+    return system, driver, system.sim.now - start
+
+
+class TestLatencySummary:
+    def test_from_stat(self):
+        stat = StatAccumulator()
+        stat.extend([1000.0, 2000.0, 3000.0])
+        summary = LatencySummary.from_stat(stat)
+        assert summary.count == 3
+        assert summary.mean_us == pytest.approx(2.0)
+        assert summary.p50_us == pytest.approx(2.0)
+        assert summary.max_us == pytest.approx(3.0)
+
+    def test_empty_stat(self):
+        summary = LatencySummary.from_stat(StatAccumulator())
+        assert summary.count == 0
+        assert summary.mean_us == 0.0
+
+
+class TestSummarize:
+    def test_from_driver(self):
+        system, driver, elapsed = run_fio(PagingMode.HWDP)
+        report = summarize(system, driver, elapsed)
+        assert report.mode == "hwdp"
+        assert report.operations == 40
+        assert report.throughput_ops_per_sec > 0
+        assert report.op_latency.count == 40
+        assert report.device_reads > 0
+        assert "hw-miss" in report.translations
+        assert report.hardware_miss_fraction == 1.0
+
+    def test_from_thread_list(self):
+        system, driver, elapsed = run_fio(PagingMode.OSDP)
+        report = summarize(system, driver.threads, elapsed)
+        assert report.op_latency is None  # no driver latency provided
+        assert report.kernel_instructions > 0
+        assert report.hardware_miss_fraction == 0.0
+
+    def test_to_text_contains_key_lines(self):
+        system, driver, elapsed = run_fio(PagingMode.HWDP)
+        text = summarize(system, driver, elapsed).to_text()
+        assert "run report (hwdp)" in text
+        assert "throughput" in text
+        assert "user IPC" in text
+        assert "device:" in text
+        assert "op latency" in text
+
+
+class TestCompare:
+    def _reports(self):
+        reports = {}
+        for mode in (PagingMode.OSDP, PagingMode.HWDP):
+            system, driver, elapsed = run_fio(mode)
+            reports[mode] = summarize(system, driver, elapsed)
+        return reports
+
+    def test_compare_directions(self):
+        reports = self._reports()
+        deltas = {
+            d.name: d
+            for d in compare_runs(reports[PagingMode.OSDP], reports[PagingMode.HWDP])
+        }
+        assert deltas["throughput (ops/s)"].improvement_pct > 0
+        assert deltas["mean op latency (us)"].improvement_pct > 0
+        assert deltas["kernel instructions"].improvement_pct > 0
+
+    def test_comparison_text_renders(self):
+        reports = self._reports()
+        text = comparison_text(reports[PagingMode.OSDP], reports[PagingMode.HWDP])
+        assert "osdp" in text and "hwdp" in text
+        assert "throughput" in text
+        assert "%" in text
+
+    def test_zero_baseline_gives_none_ratio(self):
+        from dataclasses import replace
+
+        reports = self._reports()
+        baseline = reports[PagingMode.OSDP]
+        baseline.kernel_instructions = 0.0
+        deltas = {
+            d.name: d for d in compare_runs(baseline, reports[PagingMode.HWDP])
+        }
+        assert deltas["kernel instructions"].ratio is None
+        assert deltas["kernel instructions"].improvement_pct is None

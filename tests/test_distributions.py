@@ -1,0 +1,135 @@
+"""Tests for the key-distribution generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    uniform_scan_length,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestUniform:
+    def test_in_range(self):
+        generator = UniformGenerator(100, rng())
+        samples = [generator.next() for _ in range(2000)]
+        assert min(samples) >= 0 and max(samples) < 100
+
+    def test_roughly_flat(self):
+        generator = UniformGenerator(10, rng())
+        counts = np.bincount([generator.next() for _ in range(20_000)], minlength=10)
+        assert counts.min() > 1500 and counts.max() < 2500
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            UniformGenerator(0, rng())
+
+
+class TestZipfian:
+    def test_rank_zero_most_popular(self):
+        generator = ZipfianGenerator(1000, rng())
+        samples = [generator.next() for _ in range(30_000)]
+        counts = np.bincount(samples, minlength=1000)
+        assert counts[0] == counts.max()
+        # Head heavier than tail by a large factor.
+        assert counts[0] > 20 * max(counts[500], 1)
+
+    def test_in_range(self):
+        generator = ZipfianGenerator(50, rng(3))
+        samples = [generator.next() for _ in range(5000)]
+        assert min(samples) >= 0 and max(samples) < 50
+
+    def test_skew_matches_theory_roughly(self):
+        # P(rank 0) = 1/zeta(n, theta); check within 20 %.
+        n = 200
+        generator = ZipfianGenerator(n, rng(1))
+        expected = 1.0 / generator.zeta_n
+        samples = [generator.next() for _ in range(50_000)]
+        observed = samples.count(0) / len(samples)
+        assert observed == pytest.approx(expected, rel=0.2)
+
+    def test_bad_theta_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, rng(), theta=1.0)
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_property_always_in_range(self, n, seed):
+        generator = ZipfianGenerator(n, rng(seed))
+        for _ in range(50):
+            assert 0 <= generator.next() < n
+
+
+class TestScrambledZipfian:
+    def test_spreads_popular_keys(self):
+        generator = ScrambledZipfianGenerator(1000, rng())
+        samples = [generator.next() for _ in range(20_000)]
+        counts = np.bincount(samples, minlength=1000)
+        top = int(np.argmax(counts))
+        # The hottest key is NOT key 0 (it is hashed somewhere else) …
+        assert top == fnv1a_64(0) % 1000
+        # … but the skew is preserved.
+        assert counts[top] > 10 * np.median(counts[counts > 0])
+
+    def test_in_range(self):
+        generator = ScrambledZipfianGenerator(37, rng(5))
+        for _ in range(2000):
+            assert 0 <= generator.next() < 37
+
+
+class TestLatest:
+    def test_prefers_recent(self):
+        count = {"n": 1000}
+        generator = LatestGenerator(lambda: count["n"], rng())
+        samples = [generator.next() for _ in range(20_000)]
+        recent = sum(1 for s in samples if s >= 900)
+        old = sum(1 for s in samples if s < 100)
+        assert recent > 5 * max(old, 1)
+
+    def test_follows_growth(self):
+        count = {"n": 100}
+        generator = LatestGenerator(lambda: count["n"], rng())
+        generator.next()
+        count["n"] = 1000
+        samples = [generator.next() for _ in range(5000)]
+        assert max(samples) > 900  # new items reachable
+
+    def test_empty_store_rejected(self):
+        generator = LatestGenerator(lambda: 0, rng())
+        with pytest.raises(WorkloadError):
+            generator.next()
+
+
+class TestScanLength:
+    def test_in_bounds(self):
+        generator = rng()
+        for _ in range(500):
+            length = uniform_scan_length(generator, 16)
+            assert 1 <= length <= 16
+
+    def test_bad_max_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_scan_length(rng(), 0)
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+
+    def test_distinct_inputs_differ(self):
+        hashes = {fnv1a_64(i) for i in range(1000)}
+        assert len(hashes) == 1000
+
+    def test_64_bit_range(self):
+        assert 0 <= fnv1a_64(2 ** 63) < 2 ** 64

@@ -1,0 +1,261 @@
+"""Tests for the §V extensions: anonymous fast paging, I/O timeout, readahead.
+
+The paper discusses these as straightforward extensions / future work; the
+model implements them behind configuration knobs that default to the
+paper's base design (all off except anonymous handling, which activates
+only for anonymous fast-mmap areas).
+"""
+
+import pytest
+
+from repro.config import PagingMode
+from repro.mem.address import PAGE_SHIFT
+from repro.os.vma import MmapFlags
+from repro.vm import PteStatus, decode_pte, pte_status
+from repro.vm.pte import ANON_FIRST_TOUCH_LBA, is_anon_first_touch, make_anon_lba_pte
+from repro.vm.mmu import TranslationKind
+from repro.core.system import build_system
+
+from tests.helpers import build_mapped_system, tiny_config, touch_pages
+
+DEVICE_NS = 10_000.0
+
+
+def build_anon_system(mode=PagingMode.HWDP, pages=32, **kwargs):
+    """System with one thread and one anonymous fast-mmap VMA."""
+    system = build_system(tiny_config(mode, **kwargs))
+    process = system.create_process("anon-app")
+    thread = system.workload_thread(process, index=0)
+    holder = {}
+
+    def do_mmap():
+        vma = yield from system.kernel.sys_mmap(
+            thread, None, pages, MmapFlags.FASTMAP
+        )
+        holder["vma"] = vma
+
+    proc = system.spawn(do_mmap(), "mmap")
+    while not proc.finished:
+        system.sim.step()
+    return system, thread, holder["vma"]
+
+
+class TestAnonPteCodec:
+    def test_marker_roundtrip(self):
+        value = make_anon_lba_pte(writable=True)
+        decoded = decode_pte(value)
+        assert decoded.status is PteStatus.NON_RESIDENT_HW
+        assert decoded.lba == ANON_FIRST_TOUCH_LBA
+        assert is_anon_first_touch(value)
+
+    def test_regular_lba_is_not_anon(self):
+        from repro.vm import make_lba_pte
+
+        assert not is_anon_first_touch(make_lba_pte(123))
+
+    def test_present_pte_is_not_anon(self):
+        from repro.vm import make_present_pte
+
+        assert not is_anon_first_touch(make_present_pte(1))
+
+
+class TestAnonFastPaging:
+    def test_mmap_populates_anon_markers(self):
+        system, thread, vma = build_anon_system(pages=16)
+        table = thread.process.page_table
+        for index in range(16):
+            value = table.get_pte(vma.start + (index << PAGE_SHIFT))
+            assert is_anon_first_touch(value)
+
+    def test_first_touch_zero_fills_without_io(self):
+        system, thread, vma = build_anon_system()
+        results = touch_pages(system, thread, vma, [0, 1, 2])
+        assert all(r.kind is TranslationKind.HW_MISS for r in results)
+        # No device reads: the SMU bypassed I/O on the reserved constant.
+        assert system.device.reads_completed == 0
+        assert system.smu.anon_zero_fills == 3
+        # Latency is hardware-only: far below the device time.
+        for r in results:
+            assert r.miss_latency_ns < 1_000.0
+
+    def test_no_kernel_instructions_on_anon_first_touch(self):
+        system, thread, vma = build_anon_system()
+        baseline = thread.perf.kernel_instructions
+        touch_pages(system, thread, vma, [5])
+        assert thread.perf.kernel_instructions == baseline
+
+    def test_anon_page_left_pending_sync(self):
+        system, thread, vma = build_anon_system()
+        touch_pages(system, thread, vma, [3])
+        status = pte_status(
+            thread.process.page_table.get_pte(vma.start + (3 << PAGE_SHIFT))
+        )
+        assert status is PteStatus.RESIDENT_PENDING_SYNC
+
+    def test_swap_out_and_hardware_swap_in(self):
+        system, thread, vma = build_anon_system(
+            pages=256,
+            total_frames=128,
+            free_queue_depth=16,
+            kpted_period_ns=30_000.0,
+            kpoold_period_ns=10_000.0,
+        )
+        touch_pages(system, thread, vma, list(range(200)), is_write=True)
+        kernel = system.kernel
+        assert kernel.counters["reclaim.anon_swapped"] > 0
+        table = thread.process.page_table
+        swapped = [
+            i
+            for i in range(200)
+            if (
+                pte_status(table.get_pte(vma.start + (i << PAGE_SHIFT)))
+                is PteStatus.NON_RESIDENT_HW
+            )
+            and not is_anon_first_touch(table.get_pte(vma.start + (i << PAGE_SHIFT)))
+        ]
+        assert swapped, "expected some swap-LBA-augmented anonymous pages"
+        # Touching a swapped page faults it back via the SMU with real I/O.
+        reads_before = system.device.reads_completed
+        results = touch_pages(system, thread, vma, [swapped[0]])
+        assert results[0].kind in (
+            TranslationKind.HW_MISS,
+            TranslationKind.HW_FALLBACK_FAULT,
+        )
+        assert system.device.reads_completed > reads_before
+
+    def test_swdp_anon_zero_fill(self):
+        system, thread, vma = build_anon_system(mode=PagingMode.SWDP)
+        results = touch_pages(system, thread, vma, [0])
+        assert results[0].kind is TranslationKind.OS_FAULT
+        assert system.kernel.counters["fault.swdp_anon_zero_fill"] == 1
+        assert system.device.reads_completed == 0
+        # Still far cheaper than a device-backed fault.
+        assert results[0].miss_latency_ns < 5_000.0
+
+    def test_osdp_anon_minor_faults(self):
+        system, thread, vma = build_anon_system(mode=PagingMode.OSDP)
+        results = touch_pages(system, thread, vma, [0])
+        assert results[0].kind is TranslationKind.OS_FAULT
+        assert system.kernel.counters["fault.minor_anon"] == 1
+        assert system.device.reads_completed == 0
+
+
+class TestIoTimeout:
+    def _system(self, timeout_ns, device_read_ns=50_000.0):
+        from dataclasses import replace
+
+        config = tiny_config(PagingMode.HWDP, device_read_ns=device_read_ns)
+        config = replace(config, smu=replace(config.smu, long_io_timeout_ns=timeout_ns))
+        system = build_system(config)
+        process = system.create_process("app")
+        thread = system.workload_thread(process, index=0)
+        file = system.kernel.fs.create_file("data", 32)
+        holder = {}
+
+        def do_mmap():
+            holder["vma"] = yield from system.kernel.sys_mmap(
+                thread, file, 32, MmapFlags.FASTMAP
+            )
+
+        proc = system.spawn(do_mmap(), "mmap")
+        while not proc.finished:
+            system.sim.step()
+        return system, thread, holder["vma"]
+
+    def test_timeout_fires_on_slow_io(self):
+        system, thread, vma = self._system(timeout_ns=10_000.0, device_read_ns=50_000.0)
+        results = touch_pages(system, thread, vma, [0])
+        assert system.smu.io_timeouts == 1
+        assert results[0].kind is TranslationKind.HW_MISS
+        # The thread was context-switched out (blocked), not stalled, for
+        # most of the wait.
+        assert thread.perf.blocked_cycles > 0
+        assert thread.perf.kernel_instructions > 0  # exception + switches
+
+    def test_fast_io_beats_timeout(self):
+        system, thread, vma = self._system(timeout_ns=30_000.0, device_read_ns=10_000.0)
+        results = touch_pages(system, thread, vma, [0])
+        assert system.smu.io_timeouts == 0
+        assert thread.perf.blocked_cycles == 0
+        assert results[0].kind is TranslationKind.HW_MISS
+
+    def test_timeout_disabled_by_default(self):
+        system, thread, vma = build_mapped_system(PagingMode.HWDP)
+        touch_pages(system, thread, vma, [0])
+        assert system.smu.io_timeouts == 0
+
+
+class TestReadahead:
+    def _system(self, degree, pages=64):
+        from dataclasses import replace
+
+        config = tiny_config(PagingMode.HWDP, free_queue_depth=96)
+        config = replace(config, smu=replace(config.smu, readahead_degree=degree))
+        system = build_system(config)
+        process = system.create_process("app")
+        thread = system.workload_thread(process, index=0)
+        file = system.kernel.fs.create_file("data", pages)
+        holder = {}
+
+        def do_mmap():
+            holder["vma"] = yield from system.kernel.sys_mmap(
+                thread, file, pages, MmapFlags.FASTMAP
+            )
+
+        proc = system.spawn(do_mmap(), "mmap")
+        while not proc.finished:
+            system.sim.step()
+        return system, thread, holder["vma"]
+
+    def test_sequential_stream_triggers_prefetch(self):
+        system, thread, vma = self._system(degree=4)
+        touch_pages(system, thread, vma, [0, 1, 2])
+        system.sim.run(until=system.sim.now + 100_000.0)  # drain prefetches
+        assert system.smu.readahead.stats["issued"] > 0
+        assert system.kernel.counters["smu.prefetched_pages"] > 0
+
+    def test_prefetched_page_hits_without_device_wait(self):
+        system, thread, vma = self._system(degree=8)
+        touch_pages(system, thread, vma, [0, 1])
+        system.sim.run(until=system.sim.now + 100_000.0)
+        # Page 2 was prefetched and installed: next touch is a plain walk.
+        results = touch_pages(system, thread, vma, [2])
+        assert results[0].kind is TranslationKind.WALK
+        assert results[0].miss_latency_ns == 0.0
+
+    def test_random_access_does_not_prefetch(self):
+        system, thread, vma = self._system(degree=4)
+        touch_pages(system, thread, vma, [0, 9, 33, 17])
+        system.sim.run(until=system.sim.now + 100_000.0)
+        assert system.smu.readahead.stats["issued"] == 0
+
+    def test_demand_miss_coalesces_with_inflight_prefetch(self):
+        system, thread, vma = self._system(degree=8)
+
+        from repro.mem.address import PAGE_SHIFT as SHIFT
+
+        def body():
+            yield from thread.mem_access(vma.start + (0 << SHIFT))
+            yield from thread.mem_access(vma.start + (1 << SHIFT))
+            # Immediately demand page 2 while its prefetch is in flight.
+            yield from thread.mem_access(vma.start + (2 << SHIFT))
+
+        proc = system.spawn(body(), "seq")
+        system.run([proc])
+        assert system.smu.pmshr.stats["coalesced"] >= 1
+        # Exactly one read per distinct page despite the overlap.
+        system.sim.run(until=system.sim.now + 200_000.0)
+        assert system.device.reads_completed <= 3 + 8
+
+    def test_disabled_by_default(self):
+        system, thread, vma = build_mapped_system(PagingMode.HWDP)
+        touch_pages(system, thread, vma, [0, 1, 2, 3])
+        assert system.smu.readahead.stats["issued"] == 0
+        assert system.device.reads_completed == 4
+
+    def test_prefetch_stops_at_leaf_table_boundary(self):
+        system, thread, vma = self._system(degree=8, pages=520)
+        # Touch the last two pages of the first leaf table (indices 510/511).
+        touch_pages(system, thread, vma, [510, 511])
+        system.sim.run(until=system.sim.now + 100_000.0)
+        assert system.smu.readahead.stats["stopped_at_table_boundary"] > 0

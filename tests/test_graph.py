@@ -1,0 +1,100 @@
+"""Tests for the graph-analytics workload."""
+
+import pytest
+
+from repro.config import PagingMode
+from repro.errors import WorkloadError
+from repro.workloads.graph import EDGE_BYTES, GraphBFS, SyntheticGraph
+
+from tests.helpers import tiny_config
+from repro.core.system import build_system
+
+
+def make_system(mode=PagingMode.HWDP):
+    return build_system(
+        tiny_config(mode, total_frames=2048, free_queue_depth=128)
+    )
+
+
+class TestSyntheticGraph:
+    def test_deterministic(self):
+        a = SyntheticGraph(500, avg_degree=6)
+        b = SyntheticGraph(500, avg_degree=6)
+        assert (a.degrees == b.degrees).all()
+        assert a.neighbours(17) == b.neighbours(17)
+
+    def test_degree_distribution(self):
+        graph = SyntheticGraph(2000, avg_degree=8, max_degree=128)
+        assert graph.degrees.min() >= 1
+        assert graph.degrees.max() <= 128
+        assert graph.degrees.mean() == pytest.approx(8, rel=0.35)
+        # Power law: the hottest vertex is much hotter than the median.
+        assert graph.degrees.max() >= 4 * int(sorted(graph.degrees)[1000])
+
+    def test_csr_offsets_consistent(self):
+        graph = SyntheticGraph(300)
+        for vertex in (0, 1, 150, 299):
+            extent = graph.offsets[vertex + 1] - graph.offsets[vertex]
+            assert extent == graph.degree(vertex) * EDGE_BYTES
+
+    def test_neighbours_in_range(self):
+        graph = SyntheticGraph(100)
+        for vertex in range(0, 100, 17):
+            for neighbour in graph.neighbours(vertex):
+                assert 0 <= neighbour < 100
+
+    def test_adjacency_pages_cover_extent(self):
+        graph = SyntheticGraph(300)
+        for vertex in (0, 42, 299):
+            pages = list(graph.adjacency_pages(vertex))
+            assert pages
+            assert pages[0] == graph.offsets[vertex] >> 12
+            assert pages == sorted(set(pages))
+
+    def test_file_pages_bound(self):
+        graph = SyntheticGraph(300)
+        last_page = (graph.offsets[-1] - 1) >> 12
+        assert graph.file_pages > last_page
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticGraph(1)
+
+
+class TestGraphBFS:
+    def test_bfs_runs_and_visits(self):
+        system = make_system()
+        driver = GraphBFS(num_vertices=2000, max_vertices_visited=60)
+        driver.prepare(system, num_threads=2)
+        system.run(driver.launch(system))
+        assert driver.total_operations == 120  # both threads hit the cap
+        assert all(count > 60 for count in driver.visited_counts)
+        assert system.device.reads_completed > 0  # demand paging happened
+
+    def test_deterministic_across_runs(self):
+        times = []
+        for _ in range(2):
+            system = make_system()
+            driver = GraphBFS(num_vertices=1500, max_vertices_visited=40)
+            driver.prepare(system, num_threads=1)
+            times.append(system.run(driver.launch(system)))
+        assert times[0] == times[1]
+
+    def test_hwdp_beats_osdp_on_bfs(self):
+        elapsed = {}
+        for mode in (PagingMode.OSDP, PagingMode.HWDP):
+            system = make_system(mode)
+            driver = GraphBFS(num_vertices=3000, max_vertices_visited=80)
+            driver.prepare(system, num_threads=1)
+            elapsed[mode] = system.run(driver.launch(system))
+        speedup = elapsed[PagingMode.OSDP] / elapsed[PagingMode.HWDP]
+        # Frontier expansion is fault-dominated: big wins, like FIO.
+        assert speedup > 1.2
+
+    def test_revisited_pages_hit_tlb(self):
+        system = make_system()
+        driver = GraphBFS(num_vertices=400, max_vertices_visited=120)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        perf = driver.threads[0].perf
+        assert perf.translations["tlb-hit"] > 0

@@ -1,0 +1,62 @@
+"""Tests for the §V huge-page PMD semantics (codec level).
+
+The paper keeps huge pages out of the first-class design (no mainstream
+huge-page file mapping or swap), but §V specifies exactly how a PMD entry's
+LBA bit must be read under the PS bit; the codec implements that reading.
+"""
+
+import pytest
+
+from repro.vm.pte import (
+    PS_BIT,
+    LBA_BIT,
+    PteStatus,
+    UpperStatus,
+    decode_pte,
+    describe_pmd,
+    is_huge,
+    make_huge_lba_pmd,
+    make_huge_pmd,
+    make_lba_pte,
+    make_present_pte,
+)
+
+
+class TestHugeCodec:
+    def test_huge_present_mapping(self):
+        value = make_huge_pmd(0x4200, writable=True)
+        assert is_huge(value)
+        assert describe_pmd(value) is PteStatus.RESIDENT
+        assert decode_pte(value).pfn == 0x4200
+
+    def test_huge_lba_augmented_mapping(self):
+        value = make_huge_lba_pmd(777, device_id=2)
+        assert is_huge(value)
+        assert describe_pmd(value) is PteStatus.NON_RESIDENT_HW
+        decoded = decode_pte(value)
+        assert decoded.lba == 777
+        assert decoded.device_id == 2
+
+    def test_huge_pending_sync(self):
+        value = make_huge_pmd(5, lba_pending=True)
+        assert describe_pmd(value) is PteStatus.RESIDENT_PENDING_SYNC
+
+    def test_non_huge_entry_reads_upper_semantics(self):
+        table_pointer = make_present_pte(0x99)  # points at a leaf table
+        assert not is_huge(table_pointer)
+        assert describe_pmd(table_pointer) is UpperStatus.NO_SYNC_NEEDED
+        assert describe_pmd(table_pointer | LBA_BIT) is UpperStatus.SYNC_NEEDED
+
+    def test_ps_bit_flips_the_reading(self):
+        """The same LBA bit means two different things under PS (§V)."""
+        with_ps = make_lba_pte(10) | PS_BIT
+        without_ps = make_present_pte(10) | LBA_BIT
+        assert describe_pmd(with_ps) is PteStatus.NON_RESIDENT_HW
+        assert describe_pmd(without_ps) is UpperStatus.SYNC_NEEDED
+
+    def test_protections_preserved_on_huge_lba(self):
+        value = make_huge_lba_pmd(10, writable=False, nx=True, pkey=9)
+        decoded = decode_pte(value)
+        assert not decoded.writable
+        assert decoded.nx
+        assert decoded.pkey == 9

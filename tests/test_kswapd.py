@@ -1,0 +1,84 @@
+"""Tests for kswapd background reclaim."""
+
+import pytest
+
+from repro.config import PagingMode
+from repro.vm.mmu import TranslationKind
+
+from tests.helpers import build_mapped_system, touch_pages
+
+
+class TestKswapd:
+    def test_runs_in_every_mode(self):
+        for mode in (PagingMode.OSDP, PagingMode.SWDP, PagingMode.HWDP):
+            system, _, _ = build_mapped_system(mode)
+            assert system.kswapd is not None, mode
+
+    def test_wakes_under_pressure_and_reclaims(self):
+        system, thread, vma = build_mapped_system(
+            PagingMode.OSDP, total_frames=128, file_pages=512
+        )
+        touch_pages(system, thread, vma, list(range(200)))
+        assert system.kswapd.wakeups > 0
+        assert system.kernel.counters["reclaim.kswapd_pages"] > 0
+        # Background reclaim keeps the pool above empty.
+        assert system.kernel.frame_pool.free_frames > 0
+
+    def test_background_reclaim_replaces_most_direct_reclaim(self):
+        system, thread, vma = build_mapped_system(
+            PagingMode.OSDP, total_frames=128, file_pages=512
+        )
+        touch_pages(system, thread, vma, list(range(300)))
+        kswapd_pages = system.kernel.counters["reclaim.kswapd_pages"]
+        direct_pages = system.kernel.counters["reclaim.direct_pages"]
+        assert kswapd_pages > direct_pages
+
+    def test_charges_kernel_time_to_its_own_thread(self):
+        system, thread, vma = build_mapped_system(
+            PagingMode.OSDP, total_frames=128, file_pages=512
+        )
+        touch_pages(system, thread, vma, list(range(200)))
+        kswapd_thread = next(
+            t for t in system.kthread_threads if t.name == "kswapd"
+        )
+        assert kswapd_thread.perf.kernel_instructions > 0
+
+    def test_idle_without_pressure(self):
+        system, thread, vma = build_mapped_system(
+            PagingMode.OSDP, total_frames=2048, file_pages=64
+        )
+        touch_pages(system, thread, vma, list(range(32)))
+        assert system.kswapd.wakeups == 0
+        assert system.kernel.counters["reclaim.kswapd_pages"] == 0
+
+    def test_disabled_by_config(self):
+        system, thread, vma = build_mapped_system(
+            PagingMode.OSDP, total_frames=128, file_pages=512,
+            kswapd_enabled=False,
+        )
+        assert system.kswapd is None
+        touch_pages(system, thread, vma, list(range(200)))
+        # Direct reclaim carries the load alone.
+        assert system.kernel.counters["reclaim.direct_pages"] > 0
+
+    def test_hwdp_faults_still_hardware_handled_under_pressure(self):
+        system, thread, vma = build_mapped_system(
+            PagingMode.HWDP,
+            total_frames=128,
+            file_pages=512,
+            free_queue_depth=16,
+            kpted_period_ns=20_000.0,
+            kpoold_period_ns=8_000.0,
+        )
+        results = touch_pages(system, thread, vma, list(range(250)))
+        hw = sum(1 for r in results if r.kind is TranslationKind.HW_MISS)
+        assert hw > len(results) * 0.5
+        # Under HWDP, reclaim is driven by queue refills (kpoold / sync),
+        # with kswapd assisting when the pool itself runs low.
+        kernel = system.kernel
+        total_reclaimed = (
+            kernel.counters["reclaim.kswapd_pages"]
+            + kernel.counters["reclaim.direct_pages"]
+        )
+        assert total_reclaimed > 0
+        assert kernel.frame_pool.free_frames > 0

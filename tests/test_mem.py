@@ -1,0 +1,173 @@
+"""Tests for address helpers, the frame pool, and the TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoryConfig
+from repro.errors import AddressError, ConfigError, OutOfMemoryError, PageTableError
+from repro.mem import (
+    FramePool,
+    VA_LIMIT,
+    level_index,
+    page_align_up,
+    page_base,
+    page_number,
+    page_offset,
+    pages_in_range,
+)
+from repro.vm import Tlb
+
+
+class TestAddressHelpers:
+    def test_page_number_and_offset(self):
+        assert page_number(0x5432) == 5
+        assert page_offset(0x5432) == 0x432
+        assert page_base(0x5432) == 0x5000
+
+    def test_page_align_up(self):
+        assert page_align_up(0) == 0
+        assert page_align_up(1) == 4096
+        assert page_align_up(4096) == 4096
+        assert page_align_up(4097) == 8192
+
+    def test_vaddr_bounds(self):
+        with pytest.raises(AddressError):
+            page_number(VA_LIMIT)
+        with pytest.raises(AddressError):
+            page_number(-1)
+
+    def test_level_index(self):
+        vaddr = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12)
+        assert level_index(vaddr, 3) == 3
+        assert level_index(vaddr, 2) == 5
+        assert level_index(vaddr, 1) == 7
+        assert level_index(vaddr, 0) == 9
+
+    def test_level_index_out_of_range(self):
+        with pytest.raises(AddressError):
+            level_index(0, 4)
+
+    def test_pages_in_range(self):
+        assert list(pages_in_range(0x1000, 0x2000)) == [1, 2]
+        assert list(pages_in_range(0x1800, 0x1000)) == [1, 2]
+        assert list(pages_in_range(0x1000, 0)) == []
+        with pytest.raises(AddressError):
+            pages_in_range(0, -1)
+
+    @given(st.integers(min_value=0, max_value=VA_LIMIT - 1))
+    @settings(max_examples=100)
+    def test_decompose_recompose(self, vaddr):
+        assert page_base(vaddr) + page_offset(vaddr) == vaddr
+
+
+class TestFramePool:
+    def make(self, frames=128):
+        return FramePool(MemoryConfig(total_frames=frames))
+
+    def test_alloc_free_cycle(self):
+        pool = self.make()
+        pfn = pool.alloc()
+        assert pool.used_frames == 1
+        pool.free(pfn)
+        assert pool.used_frames == 0
+        assert pool.allocations == 1 and pool.frees == 1
+
+    def test_exhaustion(self):
+        pool = self.make(64)
+        for _ in range(64):
+            pool.alloc()
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc()
+        assert pool.try_alloc() == -1
+
+    def test_alloc_batch_partial(self):
+        pool = self.make(64)
+        batch = pool.alloc_batch(100)
+        assert len(batch) == 64
+        assert len(set(batch)) == 64
+
+    def test_double_free_rejected(self):
+        pool = self.make()
+        pfn = pool.alloc()
+        pool.free(pfn)
+        with pytest.raises(PageTableError):
+            pool.free(pfn)
+
+    def test_free_out_of_range_rejected(self):
+        pool = self.make(64)
+        with pytest.raises(PageTableError):
+            pool.free(64)
+
+    def test_watermarks(self):
+        config = MemoryConfig(
+            total_frames=1000, low_watermark_frac=0.1, high_watermark_frac=0.2
+        )
+        pool = FramePool(config)
+        assert not pool.below_low_watermark
+        for _ in range(950):
+            pool.alloc()
+        assert pool.below_low_watermark
+        assert pool.below_high_watermark
+
+    def test_bad_watermark_config(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(total_frames=100, low_watermark_frac=0.5, high_watermark_frac=0.3)
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(total_frames=4)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=4)
+        assert tlb.lookup(10) is None
+        tlb.fill(10, 99, True)
+        assert tlb.lookup(10) == (99, True)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.fill(1, 11, True)
+        tlb.fill(2, 22, True)
+        tlb.lookup(1)  # make vpn=1 most recent
+        tlb.fill(3, 33, True)  # evicts vpn=2
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) == (11, True)
+        assert tlb.lookup(3) == (33, True)
+
+    def test_invalidate(self):
+        tlb = Tlb(entries=4)
+        tlb.fill(5, 50, False)
+        assert tlb.invalidate(5)
+        assert not tlb.invalidate(5)
+        assert tlb.lookup(5) is None
+
+    def test_flush(self):
+        tlb = Tlb(entries=8)
+        for vpn in range(5):
+            tlb.fill(vpn, vpn * 10, True)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert tlb.invalidations == 5
+
+    def test_refill_moves_to_end(self):
+        tlb = Tlb(entries=2)
+        tlb.fill(1, 11, True)
+        tlb.fill(2, 22, True)
+        tlb.fill(1, 111, False)  # refill, no eviction
+        tlb.fill(3, 33, True)  # evicts vpn=2 (oldest)
+        assert tlb.lookup(1) == (111, False)
+        assert tlb.lookup(2) is None
+
+    def test_hit_rate(self):
+        tlb = Tlb(entries=4)
+        tlb.fill(1, 1, True)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Tlb(entries=0)

@@ -1,0 +1,91 @@
+"""Tests for multi-device routing through one SMU (3-bit device ID).
+
+The kernel model wires one device by default, but the SMU supports eight
+descriptor sets (§III-C); these tests install a second NVMe device and
+drive misses at it directly through the SMU pipeline, verifying that the
+device-ID field in the LBA-augmented PTE selects the right descriptor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig, PagingMode
+from repro.errors import SmuError
+from repro.storage.nvme import NVMeDevice
+from repro.vm import decode_pte, make_lba_pte
+
+from tests.helpers import build_mapped_system
+
+
+def install_second_device(system, read_ns=3_000.0):
+    device = NVMeDevice(
+        system.sim,
+        DeviceConfig(name="second", read_latency_ns=read_ns, latency_sigma=0.0),
+        np.random.default_rng(1),
+    )
+    device.create_namespace(1 << 16)
+    device_id = system.smu.host.install_device(device, nsid=1)
+    return device, device_id
+
+
+def drive_miss(system, thread, vaddr):
+    """Run one translation through the MMU/SMU."""
+    result = {}
+
+    def body():
+        result["t"] = yield from thread.mem_access(vaddr)
+
+    proc = system.spawn(body(), "drive")
+    while not proc.finished:
+        if not system.sim.step():
+            raise RuntimeError("stalled")
+    return result["t"]
+
+
+class TestMultiDevice:
+    def test_second_device_gets_id_one(self):
+        system, thread, vma = build_mapped_system(PagingMode.HWDP)
+        _, device_id = install_second_device(system)
+        assert device_id == 1
+
+    def test_miss_routed_by_device_id(self):
+        system, thread, vma = build_mapped_system(PagingMode.HWDP, file_pages=8)
+        second, device_id = install_second_device(system)
+        # Rewrite one PTE to point at the second device.
+        vaddr = vma.start
+        table = thread.process.page_table
+        table.set_pte(vaddr, make_lba_pte(64, device_id=device_id))
+        translation = drive_miss(system, thread, vaddr)
+        assert second.reads_completed == 1
+        assert system.device.reads_completed == 0
+        # The 3 µs device time shows in the miss latency.
+        assert translation.miss_latency_ns == pytest.approx(3_000.0, abs=500.0)
+
+    def test_devices_fetch_concurrently(self):
+        system, thread0, vma = build_mapped_system(PagingMode.HWDP, file_pages=8)
+        second, device_id = install_second_device(system, read_ns=10_000.0)
+        thread1 = system.workload_thread(thread0.process, index=1)
+        table = thread0.process.page_table
+        table.set_pte(vma.start, make_lba_pte(64, device_id=device_id))
+        # Page 1 stays on device 0 (as mmap populated it).
+        assert decode_pte(table.get_pte(vma.start + 4096)).device_id == 0
+        finish = {}
+
+        def toucher(thread, vaddr, tag):
+            yield from thread.mem_access(vaddr)
+            finish[tag] = system.sim.now
+
+        p0 = system.spawn(toucher(thread0, vma.start, "second-dev"), "a")
+        p1 = system.spawn(toucher(thread1, vma.start + 4096, "first-dev"), "b")
+        start = system.sim.now
+        while not (p0.finished and p1.finished):
+            system.sim.step()
+        # Both finished in ~one device time: the fetches overlapped.
+        assert max(finish.values()) - start < 12_000.0
+
+    def test_wrong_socket_id_rejected(self):
+        system, thread, vma = build_mapped_system(PagingMode.HWDP, file_pages=8)
+        table = thread.process.page_table
+        table.set_pte(vma.start, make_lba_pte(64, socket_id=3))
+        with pytest.raises(SmuError):
+            drive_miss(system, thread, vma.start)

@@ -1,0 +1,113 @@
+"""Tests for the extent-based file system and block-remap hooks."""
+
+import pytest
+
+from repro.config import BLOCKS_PER_PAGE
+from repro.errors import StorageError
+from repro.os.filesystem import FileSystem
+from repro.storage.nvme import Namespace
+
+
+def make_fs(capacity_blocks=1 << 16):
+    return FileSystem(Namespace(nsid=1, capacity_blocks=capacity_blocks))
+
+
+class TestFileCreation:
+    def test_create_and_lookup(self):
+        fs = make_fs()
+        file = fs.create_file("data", 10)
+        assert fs.lookup("data") is file
+        assert file.num_pages == 10
+        assert file.nsid == 1
+
+    def test_lbas_are_page_granular_and_contiguous(self):
+        fs = make_fs()
+        file = fs.create_file("data", 4)
+        lbas = [file.lba_of_page(i) for i in range(4)]
+        assert lbas == [lbas[0] + i * BLOCKS_PER_PAGE for i in range(4)]
+
+    def test_two_files_do_not_overlap(self):
+        fs = make_fs()
+        a = fs.create_file("a", 8)
+        b = fs.create_file("b", 8)
+        a_blocks = {a.lba_of_page(i) for i in range(8)}
+        b_blocks = {b.lba_of_page(i) for i in range(8)}
+        assert not a_blocks & b_blocks
+
+    def test_duplicate_name_rejected(self):
+        fs = make_fs()
+        fs.create_file("x", 1)
+        with pytest.raises(StorageError):
+            fs.create_file("x", 1)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(StorageError):
+            make_fs().create_file("x", 0)
+
+    def test_missing_file_lookup_raises(self):
+        with pytest.raises(StorageError):
+            make_fs().lookup("ghost")
+
+    def test_page_out_of_range_raises(self):
+        fs = make_fs()
+        file = fs.create_file("data", 4)
+        with pytest.raises(StorageError):
+            file.lba_of_page(4)
+        with pytest.raises(StorageError):
+            file.lba_of_page(-1)
+
+    def test_size_bytes(self):
+        fs = make_fs()
+        assert fs.create_file("data", 3).size_bytes == 3 * 4096
+
+    def test_namespace_exhaustion_propagates(self):
+        fs = make_fs(capacity_blocks=16)  # two pages worth
+        fs.create_file("a", 2)
+        with pytest.raises(StorageError):
+            fs.create_file("b", 1)
+
+
+class TestRemap:
+    def test_remap_changes_lba(self):
+        fs = make_fs()
+        file = fs.create_file("data", 4)
+        old = file.lba_of_page(2)
+        new = fs.remap_page(file, 2)
+        assert new != old
+        assert file.lba_of_page(2) == new
+        assert file.remaps == 1
+
+    def test_hook_fires_only_for_marked_files(self):
+        fs = make_fs()
+        marked = fs.create_file("marked", 4)
+        plain = fs.create_file("plain", 4)
+        marked.fastmap_marked = True
+        calls = []
+        fs.add_remap_hook(lambda f, p, old, new: calls.append((f.name, p, old, new)))
+        fs.remap_page(marked, 1)
+        fs.remap_page(plain, 1)
+        assert len(calls) == 1
+        assert calls[0][0] == "marked"
+        assert calls[0][1] == 1
+
+    def test_hook_receives_old_and_new_lba(self):
+        fs = make_fs()
+        file = fs.create_file("data", 2)
+        file.fastmap_marked = True
+        captured = {}
+        fs.add_remap_hook(
+            lambda f, p, old, new: captured.update(old=old, new=new)
+        )
+        old = file.lba_of_page(0)
+        new = fs.remap_page(file, 0)
+        assert captured == {"old": old, "new": new}
+
+    def test_multiple_hooks_all_fire(self):
+        fs = make_fs()
+        file = fs.create_file("data", 2)
+        file.fastmap_marked = True
+        hits = []
+        fs.add_remap_hook(lambda *a: hits.append("first"))
+        fs.add_remap_hook(lambda *a: hits.append("second"))
+        fs.remap_page(file, 0)
+        assert hits == ["first", "second"]

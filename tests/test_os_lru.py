@@ -1,0 +1,156 @@
+"""Tests for the LRU lists, PageInfo, and the page cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.os.filesystem import FileSystem
+from repro.os.lru import LruLists, PageInfo
+from repro.os.page_cache import PageCache
+from repro.os.vma import Vma
+from repro.storage.nvme import Namespace
+
+
+def make_page(pfn, file=None, file_page=None):
+    vma = Vma(start=0x10000, num_pages=1024, file=file)
+    return PageInfo(
+        pfn=pfn,
+        process=None,
+        vma=vma,
+        vaddr=0x10000 + pfn * 4096,
+        file=file,
+        file_page=file_page,
+    )
+
+
+def make_file(pages=64):
+    return FileSystem(Namespace(nsid=1, capacity_blocks=1 << 16)).create_file(
+        "f", pages
+    )
+
+
+class TestLruLists:
+    def test_insert_goes_inactive(self):
+        lru = LruLists()
+        lru.insert(make_page(1))
+        assert lru.inactive_count == 1
+        assert lru.active_count == 0
+        assert lru.contains(1)
+
+    def test_double_insert_rejected(self):
+        lru = LruLists()
+        lru.insert(make_page(1))
+        with pytest.raises(KernelError):
+            lru.insert(make_page(1))
+
+    def test_two_touches_promote(self):
+        lru = LruLists()
+        lru.insert(make_page(1))
+        lru.touch(1)  # sets referenced
+        assert lru.inactive_count == 1
+        lru.touch(1)  # promotes
+        assert lru.active_count == 1
+        assert lru.inactive_count == 0
+
+    def test_touch_unknown_is_noop(self):
+        LruLists().touch(99)  # no error
+
+    def test_remove(self):
+        lru = LruLists()
+        lru.insert(make_page(1))
+        page = lru.remove(1)
+        assert page.pfn == 1
+        assert not lru.contains(1)
+        assert lru.remove(1) is None
+
+    def test_victims_come_from_inactive_head(self):
+        lru = LruLists()
+        for pfn in range(4):
+            lru.insert(make_page(pfn))
+        victims = lru.select_victims(2)
+        assert [v.pfn for v in victims] == [0, 1]
+        assert len(lru) == 2
+
+    def test_referenced_pages_get_second_chance(self):
+        lru = LruLists()
+        for pfn in range(3):
+            lru.insert(make_page(pfn))
+        lru.touch(0)  # referenced: skipped once
+        victims = lru.select_victims(1)
+        assert victims[0].pfn == 1
+        # Page 0 lost its reference bit and moved to the tail.
+        next_victims = lru.select_victims(2)
+        assert [v.pfn for v in next_victims] == [2, 0]
+
+    def test_active_pages_demoted_when_inactive_drains(self):
+        lru = LruLists()
+        for pfn in range(2):
+            lru.insert(make_page(pfn))
+            lru.touch(pfn)
+            lru.touch(pfn)  # both active
+        assert lru.active_count == 2
+        victims = lru.select_victims(1)
+        assert len(victims) == 1
+        assert victims[0].active is False
+
+    def test_select_more_than_available(self):
+        lru = LruLists()
+        lru.insert(make_page(1))
+        victims = lru.select_victims(10)
+        assert len(victims) == 1
+        assert len(lru) == 0
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_property_victims_unique_and_tracked(self, pfns):
+        lru = LruLists()
+        for pfn in pfns:
+            lru.insert(make_page(pfn))
+        victims = lru.select_victims(len(pfns) // 2 + 1)
+        victim_pfns = [v.pfn for v in victims]
+        assert len(set(victim_pfns)) == len(victim_pfns)
+        for pfn in victim_pfns:
+            assert not lru.contains(pfn)
+        assert len(lru) + len(victims) == len(pfns)
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        cache = PageCache()
+        file = make_file()
+        assert cache.lookup(file, 0) is None
+        cache.insert(file, 0, 42)
+        assert cache.lookup(file, 0) == 42
+        assert cache.hit_rate == 0.5
+
+    def test_same_index_different_files(self):
+        cache = PageCache()
+        fs = FileSystem(Namespace(nsid=1, capacity_blocks=1 << 16))
+        a, b = fs.create_file("a", 4), fs.create_file("b", 4)
+        cache.insert(a, 0, 1)
+        cache.insert(b, 0, 2)
+        assert cache.lookup(a, 0) == 1
+        assert cache.lookup(b, 0) == 2
+
+    def test_alias_insert_rejected(self):
+        cache = PageCache()
+        file = make_file()
+        cache.insert(file, 3, 10)
+        with pytest.raises(KernelError):
+            cache.insert(file, 3, 11)
+
+    def test_idempotent_insert_allowed(self):
+        cache = PageCache()
+        file = make_file()
+        cache.insert(file, 3, 10)
+        cache.insert(file, 3, 10)
+        assert len(cache) == 1
+
+    def test_remove(self):
+        cache = PageCache()
+        file = make_file()
+        cache.insert(file, 1, 5)
+        assert cache.remove(file, 1) == 5
+        assert cache.remove(file, 1) is None
+        assert cache.lookup(file, 1) is None

@@ -1,0 +1,103 @@
+"""Tests for VMAs and the address-space layout."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.errors import KernelError
+from repro.os.filesystem import FileSystem
+from repro.os.vma import AddressSpaceLayout, MmapFlags, Vma
+from repro.storage.nvme import Namespace
+
+
+def make_file(pages=16):
+    return FileSystem(Namespace(nsid=1, capacity_blocks=1 << 16)).create_file(
+        "f", pages
+    )
+
+
+class TestVma:
+    def test_bounds_and_contains(self):
+        vma = Vma(start=0x10000, num_pages=4, file=None)
+        assert vma.end == 0x10000 + 4 * PAGE_SIZE
+        assert vma.contains(0x10000)
+        assert vma.contains(vma.end - 1)
+        assert not vma.contains(vma.end)
+        assert not vma.contains(0xFFFF)
+
+    def test_flags(self):
+        vma = Vma(start=0, num_pages=1, file=None, flags=MmapFlags.FASTMAP)
+        assert vma.is_fastmap
+        assert not vma.is_file_backed
+        plain = Vma(start=0, num_pages=1, file=make_file())
+        assert not plain.is_fastmap
+        assert plain.is_file_backed
+
+    def test_file_page_mapping(self):
+        file = make_file(16)
+        vma = Vma(start=0x40000, num_pages=4, file=file, file_page_offset=8)
+        assert vma.file_page_of(0x40000) == 8
+        assert vma.file_page_of(0x40000 + 3 * PAGE_SIZE) == 11
+        assert vma.vaddr_of_file_page(9) == 0x40000 + PAGE_SIZE
+
+    def test_file_page_of_outside_raises(self):
+        vma = Vma(start=0x40000, num_pages=2, file=make_file())
+        with pytest.raises(KernelError):
+            vma.file_page_of(0x30000)
+
+    def test_file_page_of_anonymous_raises(self):
+        vma = Vma(start=0x40000, num_pages=2, file=None)
+        with pytest.raises(KernelError):
+            vma.file_page_of(0x40000)
+
+    def test_vaddr_of_unmapped_file_page_raises(self):
+        vma = Vma(start=0x40000, num_pages=2, file=make_file(), file_page_offset=4)
+        with pytest.raises(KernelError):
+            vma.vaddr_of_file_page(2)
+
+    def test_pages_range(self):
+        vma = Vma(start=2 * PAGE_SIZE, num_pages=3, file=None)
+        assert list(vma.pages()) == [2, 3, 4]
+
+
+class TestAddressSpaceLayout:
+    def test_place_returns_disjoint_regions(self):
+        layout = AddressSpaceLayout()
+        first = layout.place(10 * PAGE_SIZE)
+        second = layout.place(PAGE_SIZE)
+        assert second >= first + 10 * PAGE_SIZE + PAGE_SIZE  # guard page
+
+    def test_place_rejects_empty(self):
+        with pytest.raises(KernelError):
+            AddressSpaceLayout().place(0)
+
+    def test_insert_and_find(self):
+        layout = AddressSpaceLayout()
+        vma = Vma(start=layout.place(PAGE_SIZE), num_pages=1, file=None)
+        layout.insert(vma)
+        assert layout.find(vma.start) is vma
+        assert layout.find(vma.end) is None
+
+    def test_overlap_rejected(self):
+        layout = AddressSpaceLayout()
+        base = layout.place(4 * PAGE_SIZE)
+        layout.insert(Vma(start=base, num_pages=4, file=None))
+        with pytest.raises(KernelError):
+            layout.insert(Vma(start=base + PAGE_SIZE, num_pages=1, file=None))
+
+    def test_remove(self):
+        layout = AddressSpaceLayout()
+        vma = Vma(start=layout.place(PAGE_SIZE), num_pages=1, file=None)
+        layout.insert(vma)
+        layout.remove(vma)
+        assert layout.find(vma.start) is None
+        with pytest.raises(KernelError):
+            layout.remove(vma)
+
+    def test_fastmap_vmas_filter(self):
+        layout = AddressSpaceLayout()
+        fast = Vma(start=layout.place(PAGE_SIZE), num_pages=1, file=None,
+                   flags=MmapFlags.FASTMAP)
+        slow = Vma(start=layout.place(PAGE_SIZE), num_pages=1, file=None)
+        layout.insert(fast)
+        layout.insert(slow)
+        assert layout.fastmap_vmas() == [fast]

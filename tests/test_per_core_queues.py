@@ -1,0 +1,126 @@
+"""Tests for the §V per-core free-page-queue extension."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import PagingMode
+from repro.core.system import build_system
+from repro.errors import KernelError
+from repro.os.vma import MmapFlags
+from repro.vm.mmu import TranslationKind
+
+from tests.helpers import tiny_config, touch_pages
+
+
+def build_per_core_system(total_depth=64, **kwargs):
+    config = tiny_config(PagingMode.HWDP, free_queue_depth=total_depth, **kwargs)
+    config = replace(config, smu=replace(config.smu, per_core_free_queues=True))
+    system = build_system(config)
+    process = system.create_process("app")
+    threads = [system.workload_thread(process, index=i) for i in range(2)]
+    file = system.kernel.fs.create_file("data", 128)
+    holder = {}
+
+    def do_mmap():
+        holder["vma"] = yield from system.kernel.sys_mmap(
+            threads[0], file, 128, MmapFlags.FASTMAP
+        )
+
+    proc = system.spawn(do_mmap(), "mmap")
+    while not proc.finished:
+        system.sim.step()
+    return system, threads, holder["vma"]
+
+
+class TestTopology:
+    def test_one_queue_per_logical_core(self):
+        system, threads, _ = build_per_core_system()
+        kernel = system.kernel
+        assert kernel.free_page_queue is None
+        assert len(kernel.per_core_queues) == system.config.cpu.logical_cores
+        assert len(kernel.iter_free_queues()) == system.config.cpu.logical_cores
+
+    def test_depth_divided_across_cores(self):
+        system, threads, _ = build_per_core_system(total_depth=64)
+        cores = system.config.cpu.logical_cores
+        for queue in system.kernel.iter_free_queues():
+            assert queue.depth == max(4, 64 // cores)
+
+    def test_queue_for_unknown_core_rejected(self):
+        system, threads, _ = build_per_core_system()
+        with pytest.raises(KernelError):
+            system.kernel.free_queue_for(999)
+
+    def test_global_mode_unchanged_by_default(self):
+        from tests.helpers import build_mapped_system
+
+        system, _, _ = build_mapped_system(PagingMode.HWDP)
+        assert system.kernel.per_core_queues is None
+        assert system.kernel.free_page_queue is not None
+
+
+class TestIsolation:
+    def test_miss_consumes_own_cores_queue(self):
+        system, threads, vma = build_per_core_system()
+        kernel = system.kernel
+        core0 = threads[0].core.core_id
+        core1 = threads[1].core.core_id
+        before0 = kernel.free_queue_for(core0).occupancy
+        before1 = kernel.free_queue_for(core1).occupancy
+        touch_pages(system, threads[0], vma, [0, 1, 2])
+        assert kernel.free_queue_for(core0).occupancy == before0 - 3
+        assert kernel.free_queue_for(core1).occupancy == before1
+
+    def test_exhausting_one_queue_does_not_starve_other_core(self):
+        system, threads, vma = build_per_core_system(
+            total_depth=64, kpoold_enabled=False
+        )
+        kernel = system.kernel
+        core0 = threads[0].core.core_id
+        # Drain thread 0's queue entirely.
+        queue0 = kernel.free_queue_for(core0)
+        while not queue0.pop().empty:
+            pass
+        # Thread 0's next miss falls back to the OS…
+        results0 = touch_pages(system, threads[0], vma, [10])
+        assert results0[0].kind is TranslationKind.HW_FALLBACK_FAULT
+        # …while thread 1 still misses purely in hardware.
+        results1 = touch_pages(system, threads[1], vma, [11])
+        assert results1[0].kind is TranslationKind.HW_MISS
+
+    def test_sync_refill_targets_faulting_core_only(self):
+        system, threads, vma = build_per_core_system(
+            total_depth=64, kpoold_enabled=False
+        )
+        kernel = system.kernel
+        core0 = threads[0].core.core_id
+        core1 = threads[1].core.core_id
+        queue0 = kernel.free_queue_for(core0)
+        while not queue0.pop().empty:
+            pass
+        occupancy1 = kernel.free_queue_for(core1).occupancy
+        touch_pages(system, threads[0], vma, [10])  # fallback + sync refill
+        assert kernel.free_queue_for(core0).occupancy > 0
+        assert kernel.free_queue_for(core1).occupancy == occupancy1
+
+    def test_kpoold_services_every_queue(self):
+        system, threads, vma = build_per_core_system(
+            total_depth=64, kpoold_period_ns=20_000.0
+        )
+        kernel = system.kernel
+        touch_pages(system, threads[0], vma, list(range(4)))
+        touch_pages(system, threads[1], vma, list(range(4, 8)))
+        system.sim.run(until=system.sim.now + 200_000.0)
+        core0 = threads[0].core.core_id
+        core1 = threads[1].core.core_id
+        q0 = kernel.free_queue_for(core0)
+        q1 = kernel.free_queue_for(core1)
+        assert q0.occupancy >= q0.depth
+        assert q1.occupancy >= q1.depth
+
+    def test_end_to_end_latency_unaffected(self):
+        system, threads, vma = build_per_core_system()
+        results = touch_pages(system, threads[0], vma, [0])
+        overhead = results[0].miss_latency_ns - 10_000.0
+        assert 50.0 < overhead < 400.0

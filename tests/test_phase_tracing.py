@@ -1,0 +1,83 @@
+"""Tests for kernel-phase tracing and aggregation."""
+
+import pytest
+
+from repro.analysis import PhaseBreakdown, aggregate_phases, enable_tracing, merge_traces
+from repro.config import PagingMode
+
+from tests.helpers import build_mapped_system, touch_pages
+
+
+class TestAggregation:
+    def test_totals_and_counts(self):
+        events = [
+            (0.0, "io_submit", 100.0),
+            (10.0, "io_submit", 140.0),
+            (20.0, "exception", 50.0),
+        ]
+        breakdown = aggregate_phases(events)
+        assert breakdown.totals_ns["io_submit"] == 240.0
+        assert breakdown.counts["io_submit"] == 2
+        assert breakdown.mean_ns("io_submit") == 120.0
+        assert breakdown.total_ns == 290.0
+        assert breakdown.fraction("exception") == pytest.approx(50.0 / 290.0)
+
+    def test_empty(self):
+        breakdown = aggregate_phases([])
+        assert breakdown.total_ns == 0.0
+        assert breakdown.mean_ns("anything") == 0.0
+        assert breakdown.fraction("anything") == 0.0
+
+    def test_to_text(self):
+        breakdown = aggregate_phases([(0.0, "alpha", 10.0), (1.0, "beta", 30.0)])
+        text = breakdown.to_text("demo")
+        assert "demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "TOTAL" in text
+        # Sorted by total, descending: beta first.
+        assert text.index("beta") < text.index("alpha")
+
+
+class TestLiveTracing:
+    def test_disabled_by_default(self):
+        system, thread, vma = build_mapped_system(PagingMode.OSDP)
+        touch_pages(system, thread, vma, [0])
+        assert thread.phase_trace is None
+
+    def test_trace_captures_fault_phases(self):
+        system, thread, vma = build_mapped_system(PagingMode.OSDP)
+        enable_tracing([thread])
+        touch_pages(system, thread, vma, [0, 1])
+        breakdown = aggregate_phases(thread.phase_trace)
+        for phase in ("exception_walk", "io_submit", "io_completion",
+                      "metadata_update", "context_switch_out"):
+            assert breakdown.counts[phase] == 2, phase
+        costs = system.config.osdp_costs
+        assert breakdown.mean_ns("io_submit") == pytest.approx(costs.io_submit_ns)
+        assert breakdown.total_ns == pytest.approx(2 * costs.total_cpu_ns, rel=0.01)
+
+    def test_hwdp_misses_leave_no_phases(self):
+        system, thread, vma = build_mapped_system(PagingMode.HWDP)
+        enable_tracing([thread])
+        baseline = len(thread.phase_trace)
+        touch_pages(system, thread, vma, [0, 1])
+        assert len(thread.phase_trace) == baseline  # hardware path: silent
+
+    def test_merge_traces_sorted(self):
+        system, thread0, vma = build_mapped_system(PagingMode.OSDP)
+        thread1 = system.workload_thread(thread0.process, index=1)
+        enable_tracing([thread0, thread1])
+        touch_pages(system, thread0, vma, [0])
+        touch_pages(system, thread1, vma, [1])
+        merged = merge_traces([thread0, thread1])
+        times = [event[0] for event in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(thread0.phase_trace) + len(thread1.phase_trace)
+
+    def test_enable_tracing_idempotent(self):
+        system, thread, vma = build_mapped_system(PagingMode.OSDP)
+        enable_tracing([thread])
+        touch_pages(system, thread, vma, [0])
+        events_before = list(thread.phase_trace)
+        enable_tracing([thread])  # must not clear the existing trace
+        assert thread.phase_trace == events_before

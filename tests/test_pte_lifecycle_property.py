@@ -1,0 +1,85 @@
+"""Property-based test: random valid PTE-lifecycle sequences keep invariants.
+
+The Table I state machine under arbitrary interleavings of the legal
+transitions: fast-mmap augmentation, hardware install, kpted sync, eviction
+to a (changing) LBA, file-system remap, fork reversion.  After any legal
+sequence the PTE must decode cleanly, protections must survive, and the
+state must match the transition history.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import (
+    PteStatus,
+    decode_pte,
+    evict_to_lba,
+    hw_install_frame,
+    make_lba_pte,
+    os_sync_metadata,
+    pte_status,
+    revert_to_normal,
+    update_lba,
+)
+
+#: Transitions legal from each Table I state.
+LEGAL = {
+    PteStatus.NON_RESIDENT_HW: ("install", "remap", "revert"),
+    PteStatus.RESIDENT_PENDING_SYNC: ("sync", "evict"),
+    PteStatus.RESIDENT: ("evict",),
+    PteStatus.NON_RESIDENT_OS: (),  # terminal (post-fork) in this model
+}
+
+
+@given(
+    writable=st.booleans(),
+    nx=st.booleans(),
+    pkey=st.integers(min_value=0, max_value=15),
+    choices=st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=1, max_size=40),
+    lbas=st.lists(st.integers(min_value=0, max_value=2 ** 40), min_size=1, max_size=40),
+    pfns=st.lists(st.integers(min_value=1, max_value=2 ** 30), min_size=1, max_size=40),
+)
+@settings(max_examples=150, deadline=None)
+def test_random_legal_sequences_preserve_invariants(
+    writable, nx, pkey, choices, lbas, pfns
+):
+    pte = make_lba_pte(lbas[0] % (2 ** 41), writable=writable, nx=nx, pkey=pkey)
+    expected_state = PteStatus.NON_RESIDENT_HW
+    reverted = False
+
+    for step, choice in enumerate(choices):
+        legal = LEGAL[expected_state]
+        if not legal:
+            break
+        action = legal[choice % len(legal)]
+        lba = lbas[step % len(lbas)] % (2 ** 41)
+        pfn = pfns[step % len(pfns)] % (2 ** 40)
+
+        if action == "install":
+            pte = hw_install_frame(pte, pfn)
+            expected_state = PteStatus.RESIDENT_PENDING_SYNC
+            assert decode_pte(pte).pfn == pfn
+        elif action == "remap":
+            pte = update_lba(pte, lba)
+            assert decode_pte(pte).lba == lba
+        elif action == "revert":
+            pte = revert_to_normal(pte)
+            expected_state = PteStatus.NON_RESIDENT_OS
+            reverted = True
+        elif action == "sync":
+            pte = os_sync_metadata(pte)
+            expected_state = PteStatus.RESIDENT
+        elif action == "evict":
+            pte = evict_to_lba(pte, lba)
+            expected_state = PteStatus.NON_RESIDENT_HW
+            assert decode_pte(pte).lba == lba
+
+        # Invariants after every step:
+        assert pte_status(pte) is expected_state
+        decoded = decode_pte(pte)
+        if not reverted:
+            # Protection bits survive every transition (§III-B requirement).
+            assert decoded.writable == writable
+            assert decoded.nx == nx
+            assert decoded.pkey == pkey
+        assert 0 <= pte < 1 << 64

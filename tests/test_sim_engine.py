@@ -1,0 +1,130 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(7.0, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_zero_delay_event_runs_after_current():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.0, fired.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.schedule(1.0, fired.append, "sibling")
+    sim.run()
+    assert fired == ["outer", "sibling", "inner"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(42.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 42.0
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10.0, fired.append, "dropped")
+    sim.schedule(20.0, fired.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(5.0, lambda: None)
+    sim.schedule(9.0, lambda: None)
+    handle.cancel()
+    assert sim.peek() == 9.0
+
+
+def test_events_dispatched_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 4
+
+
+def test_events_scheduled_inside_callbacks_chain():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(10.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50.0

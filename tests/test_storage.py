@@ -1,0 +1,166 @@
+"""Tests for the NVMe device model and latency model."""
+
+import numpy as np
+import pytest
+
+from repro.config import OPTANE_PMM, ZSSD, DeviceConfig
+from repro.errors import StorageError
+from repro.sim import Simulator, spawn
+from repro.storage import DeviceLatencyModel, NVMeCommand, NVMeDevice, NVMeOpcode
+
+
+def make_device(sim=None, config=None):
+    sim = sim or Simulator()
+    config = config or DeviceConfig(name="test", read_latency_ns=10_000.0,
+                                    write_latency_ns=12_000.0, parallel_ops=2,
+                                    latency_sigma=0.0)
+    device = NVMeDevice(sim, config, np.random.default_rng(7))
+    device.create_namespace(capacity_blocks=1 << 20)
+    return sim, device
+
+
+class TestLatencyModel:
+    def test_deterministic_when_sigma_zero(self):
+        model = DeviceLatencyModel(
+            DeviceConfig(name="d", read_latency_ns=5000.0, latency_sigma=0.0),
+            np.random.default_rng(0),
+        )
+        assert model.read_service_ns() == 5000.0
+
+    def test_lognormal_variation_is_tight(self):
+        model = DeviceLatencyModel(ZSSD, np.random.default_rng(0))
+        samples = [model.read_service_ns() for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(ZSSD.read_latency_ns, rel=0.02)
+        assert max(samples) < ZSSD.read_latency_ns * 1.3
+
+    def test_write_interference_inflates_reads(self):
+        model = DeviceLatencyModel(
+            DeviceConfig(name="d", read_latency_ns=1000.0, latency_sigma=0.0,
+                         write_interference=2.0),
+            np.random.default_rng(0),
+        )
+        assert model.read_service_ns(0.0) == 1000.0
+        assert model.read_service_ns(0.5) == 2000.0
+        assert model.read_service_ns(1.0) == 3000.0
+        # Occupancy clamped to [0, 1].
+        assert model.read_service_ns(5.0) == 3000.0
+
+    def test_pmm_is_fastest_preset(self):
+        assert OPTANE_PMM.read_latency_ns < ZSSD.read_latency_ns
+
+
+class TestNVMeDevice:
+    def test_read_completes_with_device_time(self):
+        sim, device = make_device()
+        qp = device.create_queue_pair()
+        done = []
+
+        def waiter():
+            command = yield from qp.cq.get()
+            done.append(command)
+
+        spawn(sim, waiter())
+        command = NVMeCommand(NVMeOpcode.READ, nsid=1, lba=0)
+        sim.schedule(0.0, device.submit, qp, command)
+        sim.run()
+        assert len(done) == 1
+        assert done[0].device_time_ns == pytest.approx(10_000.0)
+        assert device.reads_completed == 1
+        assert qp.outstanding == 0
+
+    def test_parallel_ops_limit_queues_commands(self):
+        sim, device = make_device()  # capacity 2
+        qp = device.create_queue_pair()
+        completions = []
+
+        def waiter(n):
+            for _ in range(n):
+                command = yield from qp.cq.get()
+                completions.append((command.lba, sim.now))
+
+        spawn(sim, waiter(4))
+        for i in range(4):
+            command = NVMeCommand(NVMeOpcode.READ, nsid=1, lba=i * 8)
+            sim.schedule(0.0, device.submit, qp, command)
+        sim.run()
+        times = sorted(t for _, t in completions)
+        # Two at 10us, two queued behind them at 20us.
+        assert times[0] == pytest.approx(10_000.0)
+        assert times[3] == pytest.approx(20_000.0)
+
+    def test_writes_inflate_concurrent_reads(self):
+        sim = Simulator()
+        config = DeviceConfig(name="d", read_latency_ns=10_000.0,
+                              write_latency_ns=50_000.0, parallel_ops=4,
+                              latency_sigma=0.0, write_interference=1.0)
+        device = NVMeDevice(sim, config, np.random.default_rng(1))
+        device.create_namespace(capacity_blocks=1 << 20)
+        qp = device.create_queue_pair()
+        read_times = []
+
+        def read_waiter():
+            while len(read_times) < 1:
+                command = yield from qp.cq.get()
+                if not command.is_write:
+                    read_times.append(command.device_time_ns)
+
+        spawn(sim, read_waiter())
+        sim.schedule(0.0, device.submit, qp, NVMeCommand(NVMeOpcode.WRITE, nsid=1, lba=0))
+        sim.schedule(0.0, device.submit, qp, NVMeCommand(NVMeOpcode.WRITE, nsid=1, lba=8))
+        # Read arrives while 2 of 4 slots run writes → 1.5x inflation.
+        sim.schedule(1_000.0, device.submit, qp, NVMeCommand(NVMeOpcode.READ, nsid=1, lba=16))
+        sim.run()
+        assert read_times[0] == pytest.approx(15_000.0)
+
+    def test_unknown_namespace_rejected(self):
+        sim, device = make_device()
+        qp = device.create_queue_pair()
+        with pytest.raises(StorageError):
+            device.submit(qp, NVMeCommand(NVMeOpcode.READ, nsid=9, lba=0))
+
+    def test_lba_out_of_range_rejected(self):
+        sim, device = make_device()
+        qp = device.create_queue_pair()
+        with pytest.raises(StorageError):
+            device.submit(qp, NVMeCommand(NVMeOpcode.READ, nsid=1, lba=1 << 20))
+
+    def test_queue_overflow_rejected(self):
+        sim, device = make_device()
+        qp = device.create_queue_pair(depth=1)
+        device.submit(qp, NVMeCommand(NVMeOpcode.READ, nsid=1, lba=0))
+        with pytest.raises(StorageError):
+            device.submit(qp, NVMeCommand(NVMeOpcode.READ, nsid=1, lba=8))
+
+    def test_queue_pairs_are_isolated(self):
+        sim, device = make_device()
+        qp_os = device.create_queue_pair(owner="os")
+        qp_smu = device.create_queue_pair(interrupt_enabled=False, owner="smu")
+        assert qp_os.qid != qp_smu.qid
+        got = []
+
+        def smu_waiter():
+            command = yield from qp_smu.cq.get()
+            got.append(("smu", command.cid))
+
+        spawn(sim, smu_waiter())
+        sim.schedule(0.0, device.submit, qp_smu,
+                     NVMeCommand(NVMeOpcode.READ, nsid=1, lba=0, cid=5))
+        sim.schedule(0.0, device.submit, qp_os,
+                     NVMeCommand(NVMeOpcode.READ, nsid=1, lba=8, cid=6))
+        sim.run()
+        # The SMU waiter only saw its own queue's completion.
+        assert got == [("smu", 5)]
+
+    def test_namespace_block_allocator(self):
+        _, device = make_device()
+        namespace = device.namespaces[1]
+        first = namespace.allocate_page_blocks()
+        second = namespace.allocate_page_blocks()
+        assert second == first + 8
+
+    def test_namespace_exhaustion(self):
+        _, device = make_device()
+        namespace = device.namespaces[1]
+        with pytest.raises(StorageError):
+            namespace.allocate_blocks((1 << 20) + 1)

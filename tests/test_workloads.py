@@ -1,0 +1,242 @@
+"""Tests for the workload drivers and the KV store."""
+
+import pytest
+
+from repro.config import PagingMode
+from repro.errors import WorkloadError
+from repro.workloads import (
+    DbBenchReadRandom,
+    FioRandomRead,
+    KVStore,
+    SpecCompute,
+    YcsbWorkload,
+)
+
+from tests.helpers import tiny_config
+from repro.core.system import build_system
+
+
+def make_system(mode=PagingMode.HWDP, **kwargs):
+    kwargs.setdefault("total_frames", 2048)
+    kwargs.setdefault("free_queue_depth", 128)
+    return build_system(tiny_config(mode, **kwargs))
+
+
+class TestFio:
+    def test_runs_and_counts_ops(self):
+        system = make_system()
+        driver = FioRandomRead(ops_per_thread=50, file_pages=512)
+        driver.prepare(system, num_threads=2)
+        elapsed = system.run(driver.launch(system))
+        assert driver.total_operations == 100
+        assert driver.op_latency.count == 100
+        assert elapsed > 0
+        assert driver.throughput_ops_per_sec(elapsed) > 0
+
+    def test_latency_dominated_by_device_on_cold_reads(self):
+        system = make_system()
+        driver = FioRandomRead(ops_per_thread=40, file_pages=4096)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        # Nearly every access is a cold miss → mean latency ≥ device time.
+        assert driver.op_latency.mean > 10_000.0
+
+    def test_hwdp_latency_beats_osdp(self):
+        means = {}
+        for mode in (PagingMode.OSDP, PagingMode.HWDP):
+            system = make_system(mode)
+            driver = FioRandomRead(ops_per_thread=60, file_pages=4096)
+            driver.prepare(system, num_threads=1)
+            system.run(driver.launch(system))
+            means[mode] = driver.op_latency.mean
+        reduction = 1 - means[PagingMode.HWDP] / means[PagingMode.OSDP]
+        # Figure 12's headline: ~37 % lower latency at one thread.
+        assert 0.25 < reduction < 0.50
+
+    def test_prepare_twice_rejected(self):
+        system = make_system()
+        driver = FioRandomRead(ops_per_thread=1, file_pages=64)
+        driver.prepare(system, num_threads=1)
+        with pytest.raises(WorkloadError):
+            driver.prepare(system, num_threads=1)
+
+    def test_launch_without_prepare_rejected(self):
+        driver = FioRandomRead(ops_per_thread=1, file_pages=64)
+        with pytest.raises(WorkloadError):
+            driver.launch(make_system())
+
+
+class TestKVStore:
+    def _open_store(self, system, **kwargs):
+        process = system.create_process("app")
+        thread = system.workload_thread(process, 0)
+        store = KVStore(system, **kwargs)
+
+        def setup():
+            yield from store.open(thread)
+
+        proc = system.spawn(setup(), "open")
+        while not proc.finished:
+            system.sim.step()
+        return store, thread
+
+    def test_get_touches_mapping(self):
+        system = make_system()
+        store, thread = self._open_store(system, num_records=128)
+
+        def body():
+            yield from store.get(thread, 5)
+
+        system.run([system.spawn(body(), "get")])
+        assert store.gets == 1
+        assert system.device.reads_completed == 1  # cold read went to disk
+
+    def test_put_generates_device_writes(self):
+        system = make_system()
+        store, thread = self._open_store(system, num_records=128, flush_every=4)
+
+        def body():
+            for key in range(8):
+                yield from store.put(thread, key)
+
+        system.run([system.spawn(body(), "puts")])
+        assert store.puts == 8
+        assert system.kernel.counters["write.submitted"] >= 8
+        # Writes are asynchronous; drain the device to see them land.
+        system.sim.run(until=system.sim.now + 1_000_000.0)
+        assert system.device.writes_completed >= 8
+
+    def test_flush_adds_burst_writes(self):
+        system = make_system()
+        store, thread = self._open_store(
+            system, num_records=128, flush_every=4, sst_flush_pages=6, wal_batch=1
+        )
+
+        def body():
+            for key in range(4):
+                yield from store.put(thread, key)
+
+        system.run([system.spawn(body(), "puts")])
+        # 4 WAL writes + one 6-page flush.
+        assert system.kernel.counters["write.submitted"] == 10
+
+    def test_insert_grows_store(self):
+        system = make_system()
+        store, thread = self._open_store(system, num_records=16)
+        keys = []
+
+        def body():
+            for _ in range(4):
+                key = yield from store.insert(thread)
+                keys.append(key)
+
+        system.run([system.spawn(body(), "inserts")])
+        assert keys == [16, 17, 18, 19]
+        assert store.num_records == 20
+
+    def test_scan_reads_consecutive_pages(self):
+        system = make_system()
+        store, thread = self._open_store(system, num_records=128)
+
+        def body():
+            yield from store.scan(thread, 10, 5)
+
+        system.run([system.spawn(body(), "scan")])
+        assert system.device.reads_completed == 5
+
+    def test_get_before_open_rejected(self):
+        system = make_system()
+        process = system.create_process("app")
+        thread = system.workload_thread(process, 0)
+        store = KVStore(system, num_records=16)
+
+        def body():
+            yield from store.get(thread, 1)
+
+        system.spawn(body(), "bad")
+        with pytest.raises(WorkloadError):
+            system.sim.run()
+
+
+class TestDbBench:
+    def test_runs(self):
+        system = make_system()
+        driver = DbBenchReadRandom(ops_per_thread=30, num_records=512)
+        driver.prepare(system, num_threads=2)
+        elapsed = system.run(driver.launch(system))
+        assert driver.total_operations == 60
+        assert elapsed > 0
+
+
+class TestYcsb:
+    @pytest.mark.parametrize("workload", ["A", "B", "C", "D", "E", "F"])
+    def test_all_workloads_run(self, workload):
+        system = make_system()
+        driver = YcsbWorkload(workload, ops_per_thread=25, num_records=512)
+        driver.prepare(system, num_threads=2)
+        system.run(driver.launch(system))
+        assert driver.total_operations == 50
+
+    def test_c_is_read_only(self):
+        system = make_system()
+        driver = YcsbWorkload("C", ops_per_thread=40, num_records=512)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        assert driver.store.puts == 0
+        assert system.device.writes_completed == 0
+
+    def test_a_generates_writes(self):
+        system = make_system()
+        driver = YcsbWorkload("A", ops_per_thread=60, num_records=512)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        assert driver.store.puts > 10
+        assert system.device.writes_completed > 0
+
+    def test_d_inserts(self):
+        system = make_system()
+        driver = YcsbWorkload("D", ops_per_thread=120, num_records=512)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        assert driver.store.inserts > 0
+
+    def test_zipfian_read_concentration_gives_tlb_hits(self):
+        system = make_system()
+        driver = YcsbWorkload("C", ops_per_thread=150, num_records=2048)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        perf = driver.threads[0].perf
+        assert perf.translations["tlb-hit"] > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            YcsbWorkload("Z", ops_per_thread=1, num_records=10)
+
+
+class TestSpec:
+    def test_runs_for_duration(self):
+        system = make_system()
+        driver = SpecCompute("leela", duration_ns=200_000.0, core_index=0, lane=0)
+        driver.prepare(system, num_threads=1)
+        elapsed = system.run(driver.launch(system))
+        assert elapsed >= 200_000.0
+        assert driver.threads[0].perf.user_instructions > 0
+
+    def test_ipc_scale_applied(self):
+        results = {}
+        for kernel in ("mcf", "exchange2"):
+            system = make_system()
+            driver = SpecCompute(kernel, duration_ns=200_000.0, core_index=0, lane=0)
+            driver.prepare(system, num_threads=1)
+            system.run(driver.launch(system))
+            results[kernel] = driver.threads[0].perf.user_instructions
+        assert results["exchange2"] > 2 * results["mcf"]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(WorkloadError):
+            SpecCompute("notakernel", duration_ns=1.0)
+
+    def test_multi_thread_rejected(self):
+        driver = SpecCompute("leela", duration_ns=1.0)
+        with pytest.raises(WorkloadError):
+            driver.prepare(make_system(), num_threads=2)

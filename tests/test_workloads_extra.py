@@ -1,0 +1,144 @@
+"""Additional workload tests: sequential FIO, memtable semantics, YCSB
+operation chooser, duration-bound runs."""
+
+import pytest
+
+from repro.config import PagingMode
+from repro.errors import WorkloadError
+from repro.workloads import FioRandomRead, FioSequentialRead, KVStore
+from repro.workloads.ycsb import YcsbMix, _OperationChooser
+
+from tests.helpers import tiny_config
+from repro.core.system import build_system
+
+
+def make_system(mode=PagingMode.HWDP, **kwargs):
+    kwargs.setdefault("total_frames", 2048)
+    kwargs.setdefault("free_queue_depth", 128)
+    return build_system(tiny_config(mode, **kwargs))
+
+
+class TestFioSequential:
+    def test_threads_scan_disjoint_slices(self):
+        system = make_system()
+        driver = FioSequentialRead(ops_per_thread=20, file_pages=256)
+        driver.prepare(system, num_threads=2)
+        system.run(driver.launch(system))
+        assert driver.total_operations == 40
+        # 40 distinct pages were read exactly once each.
+        assert system.device.reads_completed == 40
+
+    def test_wraps_within_slice(self):
+        system = make_system()
+        driver = FioSequentialRead(ops_per_thread=30, file_pages=16)
+        driver.prepare(system, num_threads=2)  # slice = 8 pages each
+        system.run(driver.launch(system))
+        # Each thread re-reads its 8 pages; only 16 cold reads total.
+        assert system.device.reads_completed == 16
+        perf = driver.threads[0].perf
+        assert perf.translations["tlb-hit"] > 0
+
+
+class TestFioDurationMode:
+    def test_duration_bound_stops_on_time(self):
+        system = make_system()
+        driver = FioRandomRead(
+            ops_per_thread=10 ** 9, file_pages=1024, duration_ns=300_000.0
+        )
+        driver.prepare(system, num_threads=1)
+        elapsed = system.run(driver.launch(system))
+        assert elapsed >= 300_000.0
+        assert elapsed < 400_000.0  # at most one op beyond the deadline
+        assert 0 < driver.total_operations < 100
+
+    def test_op_bound_ignores_duration_none(self):
+        system = make_system()
+        driver = FioRandomRead(ops_per_thread=5, file_pages=256)
+        driver.prepare(system, num_threads=1)
+        system.run(driver.launch(system))
+        assert driver.total_operations == 5
+
+
+class TestMemtable:
+    def _store(self, system, **kwargs):
+        process = system.create_process("app")
+        thread = system.workload_thread(process, 0)
+        store = KVStore(system, **kwargs)
+
+        def setup():
+            yield from store.open(thread)
+
+        proc = system.spawn(setup(), "open")
+        while not proc.finished:
+            system.sim.step()
+        return store, thread
+
+    def _run(self, system, body):
+        proc = system.spawn(body, "op")
+        while not proc.finished:
+            system.sim.step()
+
+    def test_read_after_write_hits_memtable(self):
+        system = make_system()
+        store, thread = self._store(system, num_records=64)
+
+        def body():
+            yield from store.put(thread, 5)
+            yield from store.get(thread, 5)
+
+        self._run(system, body())
+        assert store.memtable_hits == 1
+        assert system.device.reads_completed == 0
+
+    def test_memtable_capacity_evicts_oldest(self):
+        system = make_system()
+        store, thread = self._store(
+            system, num_records=64, memtable_capacity=2, flush_every=1000
+        )
+
+        def body():
+            for key in (1, 2, 3):  # key 1 evicted at the third insert
+                yield from store.put(thread, key)
+            yield from store.get(thread, 1)
+
+        self._run(system, body())
+        assert store.memtable_hits == 0
+        assert system.device.reads_completed == 1
+
+    def test_group_commit_batches_wal_writes(self):
+        system = make_system()
+        store, thread = self._store(
+            system, num_records=64, wal_batch=4, flush_every=1000
+        )
+
+        def body():
+            for key in range(8):
+                yield from store.put(thread, key)
+
+        self._run(system, body())
+        assert system.kernel.counters["write.submitted"] == 2  # 8 puts / 4
+
+
+class TestOperationChooser:
+    def test_boundaries(self):
+        chooser = _OperationChooser(YcsbMix(read=0.5, update=0.5))
+        assert chooser.choose(0.0) == "read"
+        assert chooser.choose(0.499) == "read"
+        assert chooser.choose(0.5) == "update"
+        assert chooser.choose(0.999) == "update"
+
+    def test_single_operation_mix(self):
+        chooser = _OperationChooser(YcsbMix(read=1.0))
+        assert chooser.choose(0.0) == "read"
+        assert chooser.choose(1.0) == "read"  # clamp at the top
+
+    def test_mix_validation(self):
+        with pytest.raises(WorkloadError):
+            YcsbMix(read=0.5, update=0.4).validate()
+        YcsbMix(read=0.5, update=0.5).validate()  # no error
+
+    def test_five_way_mix(self):
+        mix = YcsbMix(read=0.2, update=0.2, insert=0.2, scan=0.2, rmw=0.2)
+        chooser = _OperationChooser(mix)
+        seen = {chooser.choose(x / 10 + 0.05) for x in range(10)}
+        assert seen == {"read", "update", "insert", "scan", "rmw"}
