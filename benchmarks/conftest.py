@@ -1,18 +1,42 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures, wired to the experiment engine.
 
-Every benchmark runs its experiment exactly once (``rounds=1``) — the
-experiments are deterministic simulations, so repeated rounds only cost
-time — prints the reproduced table (run pytest with ``-s`` to see it
+Every benchmark resolves its experiment in the declarative registry and
+runs it through :mod:`repro.experiments.engine` exactly once (``rounds=1``
+— the experiments are deterministic simulations, so repeated rounds only
+cost time), prints the reproduced table (run pytest with ``-s`` to see it
 inline), and writes it under ``benchmarks/output/`` for the record.
+
+Environment knobs:
+
+* ``REPRO_BENCH_JOBS=N`` — fan each experiment's cells out over N worker
+  processes (engine output is byte-identical to serial).
+* ``REPRO_BENCH_CACHE=1`` — reuse/populate the cell cache under
+  ``benchmarks/.cache/`` instead of recomputing every cell.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.experiments import registry
+from repro.experiments.cache import CellCache
+from repro.experiments.engine import run_spec
+from repro.experiments.runner import QUICK
+
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def engine_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+@pytest.fixture(scope="session")
+def engine_cache():
+    return CellCache() if os.environ.get("REPRO_BENCH_CACHE") else None
 
 
 @pytest.fixture
@@ -30,6 +54,19 @@ def record_result():
     return _record
 
 
-def run_once(benchmark, func, *args, **kwargs):
-    """Benchmark ``func`` with a single round/iteration."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+@pytest.fixture
+def run_experiment(benchmark, record_result, engine_jobs, engine_cache):
+    """Run a registered experiment through the engine, record its table."""
+
+    def _run(name: str):
+        spec = registry.get_spec(name)
+        result = benchmark.pedantic(
+            run_spec,
+            args=(spec, QUICK),
+            kwargs={"jobs": engine_jobs, "cache": engine_cache},
+            rounds=1,
+            iterations=1,
+        )
+        return record_result(result)
+
+    return _run

@@ -2,15 +2,9 @@
 
 import pytest
 
-from repro.experiments import ablations, area_overhead
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_area_overhead(benchmark, record_result):
-    result = run_once(benchmark, area_overhead.run, QUICK)
-    record_result(result)
+def test_area_overhead(run_experiment):
+    result = run_experiment("area")
     total = result.row_where(component="TOTAL")
     assert total["area_mm2"] == pytest.approx(0.014, rel=0.01)
     fractions = {
@@ -26,9 +20,8 @@ def test_area_overhead(benchmark, record_result):
     assert die["fraction_pct"] == pytest.approx(0.004, abs=0.0005)
 
 
-def test_ablation_kpoold(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_kpoold_ablation, QUICK)
-    record_result(result)
+def test_ablation_kpoold(run_experiment):
+    result = run_experiment("ablation-kpoold")
     off = result.row_where(kpoold="off")["sync_refill_faults"]
     on = result.row_where(kpoold="on")["sync_refill_faults"]
     assert off > 0
@@ -37,9 +30,8 @@ def test_ablation_kpoold(benchmark, record_result):
     assert 30.0 < reduction <= 100.0
 
 
-def test_ablation_pmshr(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_pmshr_ablation, QUICK)
-    record_result(result)
+def test_ablation_pmshr(run_experiment):
+    result = run_experiment("ablation-pmshr")
     latencies = {row["entries"]: row["mean_latency_us"] for row in result.rows}
     # Tiny PMSHRs serialise misses; 32 entries is enough (the paper's pick).
     assert latencies[2] > 2.0 * latencies[32]
@@ -49,18 +41,16 @@ def test_ablation_pmshr(benchmark, record_result):
     assert fulls[32] == 0
 
 
-def test_ablation_queue_depth(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_queue_depth_ablation, QUICK)
-    record_result(result)
+def test_ablation_queue_depth(run_experiment):
+    result = run_experiment("ablation-queue-depth")
     failures = [row["queue_empty_failures"] for row in result.rows]
     # Deeper queues mean fewer empty-queue fallbacks, monotonically.
     assert failures == sorted(failures, reverse=True)
     assert failures[0] > failures[-1]
 
 
-def test_ablation_readahead_extension(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_readahead_ablation, QUICK)
-    record_result(result)
+def test_ablation_readahead_extension(run_experiment):
+    result = run_experiment("ablation-readahead")
     latencies = {row["degree"]: row["mean_latency_us"] for row in result.rows}
     issued = {row["degree"]: row["prefetches_issued"] for row in result.rows}
     assert issued[0] == 0
@@ -72,9 +62,8 @@ def test_ablation_readahead_extension(benchmark, record_result):
     assert max(reads) <= min(reads) * 1.1
 
 
-def test_ablation_kpted_period(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_kpted_ablation, QUICK)
-    record_result(result)
+def test_ablation_kpted_period(run_experiment):
+    result = run_experiment("ablation-kpted-period")
     backlogs = [row["pending_backlog"] for row in result.rows]
     cycles = [row["kpted_kcycles"] for row in result.rows]
     # Longer periods leave a larger unsynchronised backlog…
@@ -83,9 +72,8 @@ def test_ablation_kpted_period(benchmark, record_result):
     assert cycles == sorted(cycles, reverse=True)
 
 
-def test_ablation_io_timeout_extension(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_timeout_ablation, QUICK)
-    record_result(result)
+def test_ablation_io_timeout_extension(run_experiment):
+    result = run_experiment("ablation-io-timeout")
     without = result.row_where(timeout_us=None)
     with_timeout = result.row_where(timeout_us=20.0)
     assert with_timeout["timeouts"] > 0
@@ -97,9 +85,8 @@ def test_ablation_io_timeout_extension(benchmark, record_result):
     assert with_timeout["fio_mean_us"] < without["fio_mean_us"] * 1.05
 
 
-def test_ablation_prefetch(benchmark, record_result):
-    result = run_once(benchmark, ablations.run_prefetch_ablation, QUICK)
-    record_result(result)
+def test_ablation_prefetch(run_experiment):
+    result = run_experiment("ablation-prefetch")
     no_prefetch = result.row_where(prefetch_entries=0)
     with_prefetch = result.row_where(prefetch_entries=16)
     assert no_prefetch["cold_pops"] > 0

@@ -1,14 +1,8 @@
 """Benches for Figure 1 (motivation breakdown) and Figure 2 (trends)."""
 
-from repro.experiments import fig01_motivation, fig02_trends
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_fig01_ycsb_breakdown(benchmark, record_result):
-    result = run_once(benchmark, fig01_motivation.run, QUICK)
-    record_result(result)
+def test_fig01_ycsb_breakdown(run_experiment):
+    result = run_experiment("fig01")
     fault_fracs = result.column("fault_frac")
     # The paper's trend: fault fraction grows monotonically with the ratio…
     assert fault_fracs == sorted(fault_fracs)
@@ -21,9 +15,8 @@ def test_fig01_ycsb_breakdown(benchmark, record_result):
     assert max(compute_times) < 2.0 * min(compute_times)
 
 
-def test_fig02_component_trends(benchmark, record_result):
-    result = run_once(benchmark, fig02_trends.run, QUICK)
-    record_result(result)
+def test_fig02_component_trends(run_experiment):
+    result = run_experiment("fig02")
     last = result.rows[-1]
     assert last["year"] == 2019
     # Disk: tens of millions of cycles; ULL SSD: tens of thousands.

@@ -2,15 +2,9 @@
 
 import pytest
 
-from repro.experiments import fig03_fault_breakdown, fig04_pollution_osdp
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_fig03_single_fault_breakdown(benchmark, record_result):
-    result = run_once(benchmark, fig03_fault_breakdown.run, QUICK)
-    record_result(result)
+def test_fig03_single_fault_breakdown(run_experiment):
+    result = run_experiment("fig03")
     by_phase = {row["phase"]: row for row in result.rows}
     # The paper's phase fractions of device time, within a point or two.
     assert by_phase["exception_walk"]["pct_of_device"] == pytest.approx(2.45, abs=0.6)
@@ -27,9 +21,8 @@ def test_fig03_single_fault_breakdown(benchmark, record_result):
         "TOTAL overhead (critical path)"]["ns"], rel=0.05)
 
 
-def test_fig04_ideal_vs_osdp(benchmark, record_result):
-    result = run_once(benchmark, fig04_pollution_osdp.run, QUICK)
-    record_result(result)
+def test_fig04_ideal_vs_osdp(run_experiment):
+    result = run_experiment("fig04")
     throughput = result.row_where(metric="throughput (ops/s)")
     # Paper: OSDP has less than half of ideal's throughput.
     assert throughput["osdp_normalized"] < 0.5

@@ -3,15 +3,9 @@
 
 import pytest
 
-from repro.experiments import fig11_single_fault, fig12_latency
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_fig11_single_miss(benchmark, record_result):
-    result = run_once(benchmark, fig11_single_fault.run, QUICK)
-    record_result(result)
+def test_fig11_single_miss(run_experiment):
+    result = run_experiment("fig11")
     before = result.row_where(row="before device I/O")
     after = result.row_where(row="after device I/O")
     # Paper: HWDP removes 2.38 µs before and 6.16 µs after the device I/O.
@@ -29,9 +23,8 @@ def test_fig11_single_miss(benchmark, record_result):
     assert total["hwdp_ns"] < total["osdp_ns"]
 
 
-def test_fig12_latency_vs_threads(benchmark, record_result):
-    result = run_once(benchmark, fig12_latency.run, QUICK)
-    record_result(result)
+def test_fig12_latency_vs_threads(run_experiment):
+    result = run_experiment("fig12")
     reductions = {row["threads"]: row["reduction_pct"] for row in result.rows}
     # Paper: up to 37 % at one thread, 27 % at eight.
     assert 30.0 < reductions[1] < 50.0

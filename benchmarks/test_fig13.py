@@ -1,14 +1,8 @@
 """Bench for Figure 13: throughput gains across all workloads and threads."""
 
-from repro.experiments import fig13_throughput
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_fig13_throughput_gains(benchmark, record_result):
-    result = run_once(benchmark, fig13_throughput.run, QUICK)
-    record_result(result)
+def test_fig13_throughput_gains(run_experiment):
+    result = run_experiment("fig13")
 
     def gains(workload):
         return [row["gain_pct"] for row in result.rows if row["workload"] == workload]

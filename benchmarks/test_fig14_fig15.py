@@ -1,14 +1,8 @@
 """Benches for Figure 14 (pollution under HWDP) and Figure 15 (kernel cost)."""
 
-from repro.experiments import fig14_pollution_hwdp, fig15_kernel_cost
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_fig14_user_ipc_and_misses(benchmark, record_result):
-    result = run_once(benchmark, fig14_pollution_hwdp.run, QUICK)
-    record_result(result)
+def test_fig14_user_ipc_and_misses(run_experiment):
+    result = run_experiment("fig14")
     throughput = result.row_where(metric="throughput (ops/s)")
     assert throughput["hwdp_normalized"] > 1.02
     ipc = result.row_where(metric="user-level IPC")
@@ -22,9 +16,8 @@ def test_fig14_user_ipc_and_misses(benchmark, record_result):
     assert hw_fraction["hwdp"] > 0.99
 
 
-def test_fig15_kernel_instructions(benchmark, record_result):
-    result = run_once(benchmark, fig15_kernel_cost.run, QUICK)
-    record_result(result)
+def test_fig15_kernel_instructions(run_experiment):
+    result = run_experiment("fig15")
     osdp = result.row_where(context="app threads (kernel)", mode="osdp")
     hwdp = result.row_where(context="app threads (kernel)", mode="hwdp")
     # The app threads' kernel context nearly vanishes under HWDP.

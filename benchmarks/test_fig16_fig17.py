@@ -2,15 +2,9 @@
 
 import pytest
 
-from repro.experiments import fig16_smt, fig17_sw_vs_hw
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_fig16_smt_colocation(benchmark, record_result):
-    result = run_once(benchmark, fig16_smt.run, QUICK)
-    record_result(result)
+def test_fig16_smt_colocation(run_experiment):
+    result = run_experiment("fig16")
     for row in result.rows:
         # (a) FIO throughput improves substantially (paper: >= 1.72x).
         assert row["fio_gain"] > 1.4
@@ -22,9 +16,8 @@ def test_fig16_smt_colocation(benchmark, record_result):
         assert row["spec_ipc_gain"] > 1.0
 
 
-def test_fig17_sw_only_vs_hwdp(benchmark, record_result):
-    result = run_once(benchmark, fig17_sw_vs_hw.run, QUICK)
-    record_result(result)
+def test_fig17_sw_only_vs_hwdp(run_experiment):
+    result = run_experiment("fig17")
     by_device = {row["device"]: row for row in result.rows}
     # Paper: 14 % on Z-SSD, ~44 % on Optane DC PMM.
     assert by_device["z-ssd"]["reduction_pct"] == pytest.approx(14.0, abs=4.0)

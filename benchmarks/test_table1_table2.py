@@ -1,15 +1,10 @@
 """Benches for Table I (PTE semantics) and Table II (configuration)."""
 
 from repro.config import table2_configuration
-from repro.experiments import table1_semantics
-from repro.experiments.runner import QUICK
-
-from conftest import run_once
 
 
-def test_table1_pte_semantics(benchmark, record_result):
-    result = run_once(benchmark, table1_semantics.run, QUICK)
-    record_result(result)
+def test_table1_pte_semantics(run_experiment):
+    result = run_experiment("table1")
     assert len(result.rows) == 6
     assert all(row["matches"] for row in result.rows)
 

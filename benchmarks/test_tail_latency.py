@@ -1,14 +1,8 @@
 """Bench for the tail-latency analysis (beyond the paper)."""
 
-from repro.experiments import tail_latency
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_tail_latency(benchmark, record_result):
-    result = run_once(benchmark, tail_latency.run, QUICK)
-    record_result(result)
+def test_tail_latency(run_experiment):
+    result = run_experiment("tail-latency")
     for workload in ("fio", "ycsb-c"):
         osdp = result.row_where(workload=workload, mode="osdp")
         hwdp = result.row_where(workload=workload, mode="hwdp")

@@ -1,14 +1,8 @@
 """Bench for the seed-variance analysis (beyond the paper)."""
 
-from repro.experiments import variance
-from repro.experiments.runner import QUICK
 
-from conftest import run_once
-
-
-def test_seed_variance(benchmark, record_result):
-    result = run_once(benchmark, variance.run, QUICK)
-    record_result(result)
+def test_seed_variance(run_experiment):
+    result = run_experiment("variance")
     by_workload = {row["workload"]: row for row in result.rows}
     # Across seeds the Figure 13 shape is stable:
     # uniform workloads gain far more than the skewed read-only mix…

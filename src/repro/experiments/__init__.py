@@ -1,4 +1,11 @@
-"""One module per paper figure/table; each exposes ``run(scale) -> ExperimentResult``.
+"""One module per paper figure/table; each registers an ``ExperimentSpec``.
+
+Importing this package populates :mod:`repro.experiments.registry` with
+every spec (the import order below fixes the default execution order).
+The :mod:`repro.experiments.engine` executor runs specs serially or across
+processes with cell-level caching; each module also keeps a thin
+``run(scale) -> ExperimentResult`` shim delegating to the engine, so
+legacy imports keep working.
 
 ``run_all`` executes the full evaluation and returns every result; the
 ``python -m repro.experiments`` entry point prints them.
@@ -6,23 +13,31 @@
 
 from typing import List
 
-from repro.experiments import (
-    ablations,
-    area_overhead,
-    fig01_motivation,
-    fig02_trends,
-    fig03_fault_breakdown,
-    fig04_pollution_osdp,
-    fig11_single_fault,
-    fig12_latency,
-    fig13_throughput,
-    fig14_pollution_hwdp,
-    fig15_kernel_cost,
-    fig16_smt,
-    fig17_sw_vs_hw,
-    table1_semantics,
-    tail_latency,
-    variance,
+# Import order fixes registration order: figures/tables in paper order,
+# then the beyond-paper analyses, then the ablations group.
+from repro.experiments import fig01_motivation
+from repro.experiments import fig02_trends
+from repro.experiments import fig03_fault_breakdown
+from repro.experiments import fig04_pollution_osdp
+from repro.experiments import table1_semantics
+from repro.experiments import fig11_single_fault
+from repro.experiments import fig12_latency
+from repro.experiments import fig13_throughput
+from repro.experiments import fig14_pollution_hwdp
+from repro.experiments import fig15_kernel_cost
+from repro.experiments import fig16_smt
+from repro.experiments import fig17_sw_vs_hw
+from repro.experiments import area_overhead
+from repro.experiments import tail_latency
+from repro.experiments import variance
+from repro.experiments import ablations
+from repro.experiments.registry import (
+    Cell,
+    ExperimentSpec,
+    all_specs,
+    get_spec,
+    register,
+    spec_names,
 )
 from repro.experiments.runner import (
     PAPER_SHAPE,
@@ -31,6 +46,8 @@ from repro.experiments.runner import (
     ExperimentScale,
 )
 
+#: Legacy name -> ``run(scale)`` entrypoint (kept for back-compat; the
+#: registry is the canonical index now).
 ALL_EXPERIMENTS = {
     "fig01": fig01_motivation.run,
     "fig02": fig02_trends.run,
@@ -50,11 +67,11 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(scale: ExperimentScale = QUICK) -> List[ExperimentResult]:
+def run_all(scale: ExperimentScale = QUICK, jobs: int = 1) -> List[ExperimentResult]:
     """Run every figure/table plus the ablations."""
-    results = [runner(scale) for runner in ALL_EXPERIMENTS.values()]
-    results.extend(ablations.run(scale))
-    return results
+    from repro.experiments.engine import run_specs
+
+    return run_specs(all_specs(), scale, jobs=jobs)
 
 
 __all__ = [
@@ -64,4 +81,10 @@ __all__ = [
     "PAPER_SHAPE",
     "ExperimentScale",
     "ExperimentResult",
+    "ExperimentSpec",
+    "Cell",
+    "register",
+    "get_spec",
+    "all_specs",
+    "spec_names",
 ]

@@ -1,14 +1,27 @@
-"""Command-line entry point: ``python -m repro.experiments [names...]``.
+"""Command-line entry point: ``python -m repro.experiments``.
 
-Runs the requested experiments (default: all, including ablations) at the
-chosen scale and prints the reproduced tables next to the paper's reference
-values.
+Runs the requested experiments (default: the full registry, ablations
+included) at the chosen scale, serially or fanned out across worker
+processes, and prints the reproduced tables next to the paper's reference
+values.  ``--jobs N`` output is byte-identical to a serial run: cells are
+independent seeded simulations and merge in declaration order.
 
 Usage::
 
-    python -m repro.experiments                 # everything, quick scale
-    python -m repro.experiments fig12 fig17     # selected figures
-    python -m repro.experiments --scale paper   # larger runs
+    python -m repro.experiments                      # everything, quick scale
+    python -m repro.experiments --list               # what exists
+    python -m repro.experiments --only fig13 --jobs 4
+    python -m repro.experiments --only ablations --scale paper-shape
+    python -m repro.experiments --only fig12 --out results/ --no-cache
+
+Conventions:
+
+* result tables go to **stdout** (one blank line between experiments);
+  progress/timing lines go to **stderr**;
+* ``--out DIR`` additionally writes each table to ``DIR/<name>.txt``;
+* computed cells are cached under ``benchmarks/.cache/`` (disable with
+  ``--no-cache``; the cache key covers scale, params, and source version);
+* exit code 0 = success, 1 = an experiment failed, 2 = usage error.
 """
 
 from __future__ import annotations
@@ -16,12 +29,18 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
+from pathlib import Path
 
-from repro.experiments import ALL_EXPERIMENTS, ablations
+from repro.experiments import registry
+from repro.experiments.cache import CellCache
+from repro.experiments.engine import execute
 from repro.experiments.runner import PAPER_SHAPE, QUICK
 
+_SCALES = {"quick": QUICK, "paper-shape": PAPER_SHAPE, "paper": PAPER_SHAPE}
 
-def main(argv=None) -> int:
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures and tables.",
@@ -29,34 +48,115 @@ def main(argv=None) -> int:
     parser.add_argument(
         "names",
         nargs="*",
-        help=f"experiments to run: {', '.join(ALL_EXPERIMENTS)}, ablations "
-        "(default: all)",
+        help="experiments to run by name, alias, or group "
+        "(default: the full registry); see --list",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_specs",
+        help="list registered experiments and exit",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only this experiment/group (repeatable; combines with "
+        "positional names)",
     )
     parser.add_argument(
         "--scale",
-        choices=("quick", "paper"),
+        choices=sorted(_SCALES),
         default="quick",
-        help="run size (quick ~ CI, paper ~ larger shape runs)",
+        help="run size (quick ~ CI, paper-shape ~ larger runs; "
+        "'paper' is a legacy alias)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell fan-out (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write each result to DIR/<name>.txt",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell, bypassing benchmarks/.cache/",
+    )
+    return parser
+
+
+def _list_specs(out) -> None:
+    specs = registry.all_specs()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        extras = []
+        if spec.group:
+            extras.append(f"group: {spec.group}")
+        if spec.aliases:
+            extras.append("alias: " + ", ".join(spec.aliases))
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        print(f"{spec.name.ljust(width)}  {spec.title}{suffix}", file=out)
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
-    scale = PAPER_SHAPE if args.scale == "paper" else QUICK
 
-    names = args.names or list(ALL_EXPERIMENTS) + ["ablations"]
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS and n != "ablations"]
-    if unknown:
-        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    if args.list_specs:
+        _list_specs(sys.stdout)
+        return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    for name in names:
-        started = time.time()
-        if name == "ablations":
-            results = ablations.run(scale)
-        else:
-            results = [ALL_EXPERIMENTS[name](scale)]
-        for result in results:
+    requested = list(args.names) + list(args.only)
+    try:
+        specs = registry.resolve(requested) if requested else registry.all_specs()
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+
+    scale = _SCALES[args.scale]
+    cache = None if args.no_cache else CellCache()
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    pool = None
+    if args.jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=args.jobs)
+    status = 0
+    try:
+        for spec in specs:
+            started = time.time()
+            try:
+                report = execute([spec], scale, jobs=args.jobs, cache=cache, executor=pool)
+            except Exception:
+                print(f"[{spec.name} FAILED]", file=sys.stderr)
+                traceback.print_exc()
+                status = 1
+                continue
+            result = report.results[0]
             print(result.to_text())
             print()
-        print(f"[{name} finished in {time.time() - started:.1f}s]", file=sys.stderr)
-    return 0
+            if out_dir is not None:
+                (out_dir / f"{result.name}.txt").write_text(result.to_text() + "\n")
+            print(
+                f"[{spec.name}: {report.total_cells} cells "
+                f"({report.cached} cached) in {time.time() - started:.1f}s]",
+                file=sys.stderr,
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return status
 
 
 if __name__ == "__main__":

@@ -11,19 +11,29 @@
 * **kpted period** (§IV-C): sync backlog vs daemon cost trade-off.
 * **SMU readahead** and **long-I/O timeout**: the implemented §V
   extensions, measured against the paper's base design point.
+
+Each ablation is its own :class:`ExperimentSpec` (one cell per design
+point) in the ``"ablations"`` group, so ``--only ablations`` runs all
+seven and ``--jobs`` fans their cells out together.
 """
 
 from __future__ import annotations
 
-from repro.config import PagingMode
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.config import PagingMode, ZSSD
+from repro.core.system import build_system
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import (
     QUICK,
     ExperimentResult,
     ExperimentScale,
     build,
+    experiment_config,
     run_driver,
 )
-from repro.workloads.fio import FioRandomRead
+from repro.workloads.fio import FioRandomRead, FioSequentialRead
 
 
 def _fio_cell(
@@ -31,11 +41,9 @@ def _fio_cell(
     threads: int = 4,
     kpoold_enabled: bool = True,
     pmshr_entries: int = 32,
-    free_queue_depth: int = None,
+    free_queue_depth: Optional[int] = None,
     prefetch_entries: int = 16,
 ):
-    from dataclasses import replace
-
     effective = scale
     if free_queue_depth is not None:
         effective = replace(scale, free_queue_depth=free_queue_depth)
@@ -54,7 +62,28 @@ def _fio_cell(
     return system, driver
 
 
-def run_kpoold_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+# ----------------------------------------------------------------------
+# kpoold on/off
+# ----------------------------------------------------------------------
+def _kpoold_cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(kpoold=enabled) for enabled in (False, True)]
+
+
+def _kpoold_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    # A modest queue with eight threads keeps refills in play for both
+    # cells, like the paper's 4096-entry queue under full load.
+    system, driver = _fio_cell(
+        scale, threads=8, kpoold_enabled=params["kpoold"], free_queue_depth=64
+    )
+    return {
+        "kpoold": params["kpoold"],
+        "sync_refill_faults": system.kernel.counters["fault.sync_refill"],
+        "hw_misses": system.smu.misses_handled,
+        "mean_latency_us": driver.op_latency.mean / 1000.0,
+    }
+
+
+def _kpoold_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-kpoold",
         title="kpoold on/off: synchronous-refill faults (§IV-D)",
@@ -63,23 +92,17 @@ def run_kpoold_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "reduction": "kpoold cuts synchronous-refill faults by 44.3-78.4 %",
         },
     )
-    cells = {}
-    for enabled in (False, True):
-        # A modest queue with eight threads keeps refills in play for both
-        # cells, like the paper's 4096-entry queue under full load.
-        system, driver = _fio_cell(
-            scale, threads=8, kpoold_enabled=enabled, free_queue_depth=64
-        )
-        refills = system.kernel.counters["fault.sync_refill"]
-        cells[enabled] = refills
+    refills = {}
+    for payload in payloads:
+        refills[payload["kpoold"]] = payload["sync_refill_faults"]
         result.add_row(
-            kpoold="on" if enabled else "off",
-            sync_refill_faults=refills,
-            hw_misses=system.smu.misses_handled,
-            mean_latency_us=driver.op_latency.mean / 1000.0,
+            kpoold="on" if payload["kpoold"] else "off",
+            sync_refill_faults=payload["sync_refill_faults"],
+            hw_misses=payload["hw_misses"],
+            mean_latency_us=payload["mean_latency_us"],
         )
-    if cells[False] > 0:
-        reduction = 100.0 * (1.0 - cells[True] / cells[False])
+    if refills[False] > 0:
+        reduction = 100.0 * (1.0 - refills[True] / refills[False])
         result.notes.append(
             f"kpoold reduces synchronous-refill faults by {reduction:.1f} % "
             "(paper: 44.3-78.4 %)"
@@ -87,25 +110,79 @@ def run_kpoold_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
     return result
 
 
-def run_pmshr_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+KPOOLD_SPEC = register(
+    ExperimentSpec(
+        name="ablation-kpoold",
+        title="kpoold on/off: synchronous-refill faults (§IV-D)",
+        cells=_kpoold_cells,
+        cell_fn=_kpoold_cell,
+        merge=_kpoold_merge,
+        group="ablations",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# PMSHR size sweep
+# ----------------------------------------------------------------------
+def _pmshr_cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(entries=entries) for entries in (2, 4, 8, 16, 32)]
+
+
+def _pmshr_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    system, driver = _fio_cell(scale, threads=8, pmshr_entries=params["entries"])
+    return {
+        "entries": params["entries"],
+        "mean_latency_us": driver.op_latency.mean / 1000.0,
+        "full_events": system.smu.pmshr.stats["full"],
+        "coalesced": system.smu.pmshr.stats["coalesced"],
+    }
+
+
+def _pmshr_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-pmshr",
         title="PMSHR size sweep (paper picks 32 empirically)",
         headers=["entries", "mean_latency_us", "full_events", "coalesced"],
         paper_reference={"choice": "32 entries works well in the paper's setup"},
     )
-    for entries in (2, 4, 8, 16, 32):
-        system, driver = _fio_cell(scale, threads=8, pmshr_entries=entries)
-        result.add_row(
-            entries=entries,
-            mean_latency_us=driver.op_latency.mean / 1000.0,
-            full_events=system.smu.pmshr.stats["full"],
-            coalesced=system.smu.pmshr.stats["coalesced"],
-        )
+    for payload in payloads:
+        result.add_row(**payload)
     return result
 
 
-def run_queue_depth_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+PMSHR_SPEC = register(
+    ExperimentSpec(
+        name="ablation-pmshr",
+        title="PMSHR size sweep (paper picks 32 empirically)",
+        cells=_pmshr_cells,
+        cell_fn=_pmshr_cell,
+        merge=_pmshr_merge,
+        group="ablations",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# free-page-queue depth sweep
+# ----------------------------------------------------------------------
+def _queue_depth_cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        Cell.make(depth=depth) for depth in (8, 16, 32, 64, scale.free_queue_depth)
+    ]
+
+
+def _queue_depth_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    system, driver = _fio_cell(scale, free_queue_depth=params["depth"])
+    return {
+        "depth": params["depth"],
+        "queue_empty_failures": system.kernel.counters["smu.queue_empty_failures"],
+        "sync_refill_faults": system.kernel.counters["fault.sync_refill"],
+        "mean_latency_us": driver.op_latency.mean / 1000.0,
+    }
+
+
+def _queue_depth_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-queue-depth",
         title="free-page-queue depth sweep",
@@ -114,18 +191,42 @@ def run_queue_depth_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult
             "paper depth": "4096 entries (16 MB, 0.05 % of memory)",
         },
     )
-    for depth in (8, 16, 32, 64, scale.free_queue_depth):
-        system, driver = _fio_cell(scale, free_queue_depth=depth)
-        result.add_row(
-            depth=depth,
-            queue_empty_failures=system.kernel.counters["smu.queue_empty_failures"],
-            sync_refill_faults=system.kernel.counters["fault.sync_refill"],
-            mean_latency_us=driver.op_latency.mean / 1000.0,
-        )
+    for payload in payloads:
+        result.add_row(**payload)
     return result
 
 
-def run_prefetch_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+QUEUE_DEPTH_SPEC = register(
+    ExperimentSpec(
+        name="ablation-queue-depth",
+        title="free-page-queue depth sweep",
+        cells=_queue_depth_cells,
+        cell_fn=_queue_depth_cell,
+        merge=_queue_depth_merge,
+        group="ablations",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# free-page prefetch buffer
+# ----------------------------------------------------------------------
+def _prefetch_cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(entries=entries) for entries in (0, 4, 16)]
+
+
+def _prefetch_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    system, driver = _fio_cell(scale, prefetch_entries=params["entries"])
+    stats = system.kernel.free_page_queue.stats
+    return {
+        "prefetch_entries": params["entries"],
+        "cold_pops": stats["pop_cold"],
+        "prefetched_pops": stats["pop_prefetched"],
+        "mean_latency_us": driver.op_latency.mean / 1000.0,
+    }
+
+
+def _prefetch_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-prefetch",
         title="free-page prefetch buffer on/off",
@@ -134,32 +235,48 @@ def run_prefetch_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "mechanism": "eager prefetch hides the free-page memory read (§III-C)",
         },
     )
-    for entries in (0, 4, 16):
-        system, driver = _fio_cell(scale, prefetch_entries=entries)
-        stats = system.kernel.free_page_queue.stats
-        result.add_row(
-            prefetch_entries=entries,
-            cold_pops=stats["pop_cold"],
-            prefetched_pops=stats["pop_prefetched"],
-            mean_latency_us=driver.op_latency.mean / 1000.0,
-        )
+    for payload in payloads:
+        result.add_row(**payload)
     return result
 
 
-def run_readahead_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """§V "Prefetching Support": SMU readahead on a sequential stream.
+PREFETCH_SPEC = register(
+    ExperimentSpec(
+        name="ablation-prefetch",
+        title="free-page prefetch buffer on/off",
+        cells=_prefetch_cells,
+        cell_fn=_prefetch_cell,
+        merge=_prefetch_merge,
+        group="ablations",
+    )
+)
 
-    The paper leaves SMU prefetching as future work; this ablation measures
-    the implemented extension: per-read latency of a sequential mmap scan
-    versus readahead degree.
-    """
-    from dataclasses import replace
 
-    from repro.config import PagingMode
-    from repro.experiments.runner import experiment_config
-    from repro.core.system import build_system
-    from repro.workloads.fio import FioSequentialRead
+# ----------------------------------------------------------------------
+# SMU sequential readahead (§V extension)
+# ----------------------------------------------------------------------
+def _readahead_cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(degree=degree) for degree in (0, 2, 4, 8)]
 
+
+def _readahead_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    config = experiment_config(PagingMode.HWDP, scale)
+    config = replace(config, smu=replace(config.smu, readahead_degree=params["degree"]))
+    system = build_system(config)
+    driver = FioSequentialRead(
+        ops_per_thread=scale.ops_per_thread,
+        file_pages=scale.memory_frames * 2,
+    )
+    run_driver(system, driver, num_threads=2)
+    return {
+        "degree": params["degree"],
+        "mean_latency_us": driver.op_latency.mean / 1000.0,
+        "prefetches_issued": system.smu.readahead.stats["issued"],
+        "device_reads": system.device.reads_completed,
+    }
+
+
+def _readahead_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-readahead",
         title="SMU sequential readahead (§V extension) on a streaming scan",
@@ -168,44 +285,58 @@ def run_readahead_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "paper": "prefetching support in SMU is left for future work (§V)",
         },
     )
-    for degree in (0, 2, 4, 8):
-        config = experiment_config(PagingMode.HWDP, scale)
-        config = replace(config, smu=replace(config.smu, readahead_degree=degree))
-        system = build_system(config)
-        driver = FioSequentialRead(
-            ops_per_thread=scale.ops_per_thread,
-            file_pages=scale.memory_frames * 2,
-        )
-        run_driver(system, driver, num_threads=2)
-        result.add_row(
-            degree=degree,
-            mean_latency_us=driver.op_latency.mean / 1000.0,
-            prefetches_issued=system.smu.readahead.stats["issued"],
-            device_reads=system.device.reads_completed,
-        )
+    for payload in payloads:
+        result.add_row(**payload)
     return result
 
 
-def run_timeout_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """§V "Long Latency I/O": timeout exception on a slow device.
+READAHEAD_SPEC = register(
+    ExperimentSpec(
+        name="ablation-readahead",
+        title="SMU sequential readahead (§V extension) on a streaming scan",
+        cells=_readahead_cells,
+        cell_fn=_readahead_cell,
+        merge=_readahead_merge,
+        group="ablations",
+    )
+)
 
-    The paper's remedy for very slow reads: after a timeout the CPU takes an
-    exception and context-switches instead of stalling, so the wasted cycles
-    become schedulable.  FIO runs on a deliberately slow device (100 µs
-    reads) and the table shows per-op stalled vs. blocked cycles with the
-    timeout off and on — the extension trades unbounded stall time for a
-    bounded exception/switch cost plus OS-schedulable blocked time.
-    """
-    from dataclasses import replace
 
-    from repro.config import PagingMode, ZSSD
-    from repro.experiments.runner import experiment_config
-    from repro.core.system import build_system
+# ----------------------------------------------------------------------
+# long-latency I/O timeout (§V extension)
+# ----------------------------------------------------------------------
+def _timeout_cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(timeout_ns=timeout_ns) for timeout_ns in (None, 20_000.0)]
 
+
+def _timeout_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    # The paper's remedy for very slow reads: after a timeout the CPU takes
+    # an exception and context-switches instead of stalling, so the wasted
+    # cycles become schedulable.  FIO runs on a deliberately slow device.
     slow_device = replace(
         ZSSD, name="slow-flash", read_latency_ns=100_000.0, write_latency_ns=120_000.0
     )
+    timeout_ns = params["timeout_ns"]
+    config = experiment_config(PagingMode.HWDP, scale, device=slow_device)
+    config = replace(config, smu=replace(config.smu, long_io_timeout_ns=timeout_ns))
+    system = build_system(config)
+    fio = FioRandomRead(
+        ops_per_thread=min(60, scale.ops_per_thread),
+        file_pages=scale.memory_frames * 4,
+    )
+    run_driver(system, fio, num_threads=1)
+    perf = fio.threads[0].perf
+    ops = fio.total_operations
+    return {
+        "timeout_us": None if timeout_ns is None else timeout_ns / 1000.0,
+        "fio_mean_us": fio.op_latency.mean / 1000.0,
+        "stall_kcycles_per_op": perf.stall_cycles / ops / 1000.0,
+        "blocked_kcycles_per_op": perf.blocked_cycles / ops / 1000.0,
+        "timeouts": system.smu.io_timeouts,
+    }
 
+
+def _timeout_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-io-timeout",
         title="timeout-based exception for long-latency I/O (§V extension)",
@@ -226,41 +357,65 @@ def run_timeout_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "former into the latter at a bounded exception/switch cost"
         ],
     )
-    for timeout_ns in (None, 20_000.0):
-        config = experiment_config(PagingMode.HWDP, scale, device=slow_device)
-        config = replace(config, smu=replace(config.smu, long_io_timeout_ns=timeout_ns))
-        system = build_system(config)
-        fio = FioRandomRead(
-            ops_per_thread=min(60, scale.ops_per_thread),
-            file_pages=scale.memory_frames * 4,
-        )
-        run_driver(system, fio, num_threads=1)
-        perf = fio.threads[0].perf
-        ops = fio.total_operations
-        result.add_row(
-            timeout_us=None if timeout_ns is None else timeout_ns / 1000.0,
-            fio_mean_us=fio.op_latency.mean / 1000.0,
-            stall_kcycles_per_op=perf.stall_cycles / ops / 1000.0,
-            blocked_kcycles_per_op=perf.blocked_cycles / ops / 1000.0,
-            timeouts=system.smu.io_timeouts,
-        )
+    for payload in payloads:
+        result.add_row(**payload)
     return result
 
 
-def run_kpted_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """kpted period sweep (§IV-C): metadata-sync backlog vs scan period.
+TIMEOUT_SPEC = register(
+    ExperimentSpec(
+        name="ablation-io-timeout",
+        title="timeout-based exception for long-latency I/O (§V extension)",
+        cells=_timeout_cells,
+        cell_fn=_timeout_cell,
+        merge=_timeout_merge,
+        group="ablations",
+    )
+)
 
-    The paper argues a 1-second period is safe because a full LRU rotation
-    takes ≥10 s.  At simulation scale we sweep the period and measure the
-    backlog of RESIDENT_PENDING_SYNC pages left when the workload ends, and
-    the kpted cycles spent — short periods burn more daemon time for a
-    smaller backlog.
-    """
-    from dataclasses import replace
 
-    from repro.experiments.runner import experiment_config
-    from repro.core.system import build_system
+# ----------------------------------------------------------------------
+# kpted period sweep (§IV-C)
+# ----------------------------------------------------------------------
+def _kpted_cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        Cell.make(period_ns=period_ns)
+        for period_ns in (50_000.0, 200_000.0, 800_000.0, 3_200_000.0)
+    ]
 
+
+def _kpted_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    # The paper argues a 1-second period is safe because a full LRU rotation
+    # takes ≥10 s.  At simulation scale we sweep the period and measure the
+    # backlog of RESIDENT_PENDING_SYNC pages left when the workload ends,
+    # and the kpted cycles spent — short periods burn more daemon time for a
+    # smaller backlog.
+    period_ns = params["period_ns"]
+    config = experiment_config(PagingMode.HWDP, scale)
+    config = replace(
+        config,
+        control_plane=replace(config.control_plane, kpted_period_ns=period_ns),
+    )
+    system = build_system(config)
+    driver = FioRandomRead(
+        ops_per_thread=scale.ops_per_thread,
+        file_pages=scale.memory_frames * 4,
+    )
+    run_driver(system, driver, num_threads=4)
+    backlog = sum(
+        process.page_table.collect_pending_sync().found
+        for process in system.kernel.processes
+    )
+    kpted_thread = next(t for t in system.kthread_threads if t.name == "kpted")
+    return {
+        "period_us": period_ns / 1000.0,
+        "pages_synced": system.kpted.pages_synced,
+        "pending_backlog": backlog,
+        "kpted_kcycles": kpted_thread.perf.kernel_cycles / 1000.0,
+    }
+
+
+def _kpted_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation-kpted-period",
         title="kpted period sweep: sync backlog vs daemon cost",
@@ -269,42 +424,73 @@ def run_kpted_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "paper period": "1 second (safe: a full LRU rotation takes >= 10 s)",
         },
     )
-    for period_ns in (50_000.0, 200_000.0, 800_000.0, 3_200_000.0):
-        config = experiment_config(PagingMode.HWDP, scale)
-        config = replace(
-            config,
-            control_plane=replace(config.control_plane, kpted_period_ns=period_ns),
-        )
-        system = build_system(config)
-        driver = FioRandomRead(
-            ops_per_thread=scale.ops_per_thread,
-            file_pages=scale.memory_frames * 4,
-        )
-        run_driver(system, driver, num_threads=4)
-        backlog = sum(
-            process.page_table.collect_pending_sync().found
-            for process in system.kernel.processes
-        )
-        kpted_thread = next(
-            t for t in system.kthread_threads if t.name == "kpted"
-        )
-        result.add_row(
-            period_us=period_ns / 1000.0,
-            pages_synced=system.kpted.pages_synced,
-            pending_backlog=backlog,
-            kpted_kcycles=kpted_thread.perf.kernel_cycles / 1000.0,
-        )
+    for payload in payloads:
+        result.add_row(**payload)
     return result
 
 
-def run(scale: ExperimentScale = QUICK):
+KPTED_SPEC = register(
+    ExperimentSpec(
+        name="ablation-kpted-period",
+        title="kpted period sweep: sync backlog vs daemon cost",
+        cells=_kpted_cells,
+        cell_fn=_kpted_cell,
+        merge=_kpted_merge,
+        group="ablations",
+    )
+)
+
+
+ALL_ABLATION_SPECS = (
+    KPOOLD_SPEC,
+    PMSHR_SPEC,
+    QUEUE_DEPTH_SPEC,
+    PREFETCH_SPEC,
+    READAHEAD_SPEC,
+    TIMEOUT_SPEC,
+    KPTED_SPEC,
+)
+
+
+# ----------------------------------------------------------------------
+# back-compat shims
+# ----------------------------------------------------------------------
+def _run_one(spec: ExperimentSpec, scale: ExperimentScale) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(spec, scale)
+
+
+def run_kpoold_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(KPOOLD_SPEC, scale)
+
+
+def run_pmshr_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(PMSHR_SPEC, scale)
+
+
+def run_queue_depth_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(QUEUE_DEPTH_SPEC, scale)
+
+
+def run_prefetch_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(PREFETCH_SPEC, scale)
+
+
+def run_readahead_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(READAHEAD_SPEC, scale)
+
+
+def run_timeout_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(TIMEOUT_SPEC, scale)
+
+
+def run_kpted_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    return _run_one(KPTED_SPEC, scale)
+
+
+def run(scale: ExperimentScale = QUICK) -> List[ExperimentResult]:
     """All ablations, as a list of results."""
-    return [
-        run_kpoold_ablation(scale),
-        run_pmshr_ablation(scale),
-        run_queue_depth_ablation(scale),
-        run_prefetch_ablation(scale),
-        run_readahead_ablation(scale),
-        run_timeout_ablation(scale),
-        run_kpted_ablation(scale),
-    ]
+    from repro.experiments.engine import run_specs
+
+    return run_specs(ALL_ABLATION_SPECS, scale)

@@ -5,20 +5,56 @@ The paper, via McPAT register/SRAM models at 22 nm: total SMU area
 32-entry 300-bit PMSHR CAM is 87.6 %, the eight 352-bit NVMe descriptor
 register sets 6.7 %, the 16-entry prefetch buffer 3.7 %, and miscellaneous
 registers 2.0 %.  The area model recomputes all five numbers from the bit
-counts, and extrapolates to the ablation sizes.
+counts, and extrapolates to the ablation sizes.  One (instant) cell.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import SmuConfig
 from repro.core.area import XEON_E5_2640V3_DIE_MM2, estimate_area
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
 
+TITLE = "SMU area overhead (22nm, McPAT-calibrated)"
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make()]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    breakdown = estimate_area(SmuConfig())
+    fractions = breakdown.fractions()
+    extrapolations = []
+    for entries in (8, 16, 64, 128):
+        scaled = estimate_area(SmuConfig(pmshr_entries=entries))
+        extrapolations.append(
+            {
+                "entries": entries,
+                "total_mm2": scaled.total_mm2,
+                "fraction_of_die": scaled.fraction_of_die(),
+            }
+        )
+    return {
+        "pmshr_mm2": breakdown.pmshr_mm2,
+        "nvme_registers_mm2": breakdown.nvme_registers_mm2,
+        "prefetch_buffer_mm2": breakdown.prefetch_buffer_mm2,
+        "misc_mm2": breakdown.misc_mm2,
+        "total_mm2": breakdown.total_mm2,
+        "fractions": {key: value for key, value in fractions.items()},
+        "fraction_of_die": breakdown.fraction_of_die(),
+        "extrapolations": extrapolations,
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    payload = payloads[0]
+    fractions = payload["fractions"]
     result = ExperimentResult(
         name="area",
-        title="SMU area overhead (22nm, McPAT-calibrated)",
+        title=TITLE,
         headers=["component", "area_mm2", "fraction_pct"],
         paper_reference={
             "total": "0.014 mm2 = 0.004 % of 354 mm2 die",
@@ -28,31 +64,37 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "misc": "2.0 %",
         },
     )
-    breakdown = estimate_area(SmuConfig())
-    fractions = breakdown.fractions()
-    result.add_row(component="pmshr (32x300b CAM)", area_mm2=breakdown.pmshr_mm2,
+    result.add_row(component="pmshr (32x300b CAM)", area_mm2=payload["pmshr_mm2"],
                    fraction_pct=100 * fractions["pmshr"])
     result.add_row(component="nvme registers (8x352b)",
-                   area_mm2=breakdown.nvme_registers_mm2,
+                   area_mm2=payload["nvme_registers_mm2"],
                    fraction_pct=100 * fractions["nvme_registers"])
     result.add_row(component="prefetch buffer (16 entries)",
-                   area_mm2=breakdown.prefetch_buffer_mm2,
+                   area_mm2=payload["prefetch_buffer_mm2"],
                    fraction_pct=100 * fractions["prefetch_buffer"])
-    result.add_row(component="misc registers", area_mm2=breakdown.misc_mm2,
+    result.add_row(component="misc registers", area_mm2=payload["misc_mm2"],
                    fraction_pct=100 * fractions["misc"])
-    result.add_row(component="TOTAL", area_mm2=breakdown.total_mm2, fraction_pct=100.0)
+    result.add_row(component="TOTAL", area_mm2=payload["total_mm2"], fraction_pct=100.0)
     result.add_row(
         component="fraction of Xeon E5-2640v3 die",
         area_mm2=XEON_E5_2640V3_DIE_MM2,
-        fraction_pct=100 * breakdown.fraction_of_die(),
+        fraction_pct=100 * payload["fraction_of_die"],
     )
-
-    # Extrapolations for the PMSHR-size ablation.
-    for entries in (8, 16, 64, 128):
-        scaled = estimate_area(SmuConfig(pmshr_entries=entries))
+    for extrapolation in payload["extrapolations"]:
         result.add_row(
-            component=f"extrapolated total @ {entries} PMSHR entries",
-            area_mm2=scaled.total_mm2,
-            fraction_pct=100 * scaled.fraction_of_die(),
+            component=f"extrapolated total @ {extrapolation['entries']} PMSHR entries",
+            area_mm2=extrapolation["total_mm2"],
+            fraction_pct=100 * extrapolation["fraction_of_die"],
         )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="area", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

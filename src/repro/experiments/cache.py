@@ -1,0 +1,92 @@
+"""Cell-level result cache.
+
+One JSON file per computed cell under ``benchmarks/.cache/<experiment>/``,
+keyed by the cell's content hash (experiment name + spec version + source
+fingerprint + scale + cell params — see :func:`repro.experiments.engine.cell_key`).
+A key change simply misses, so stale entries are never served; an edit to
+one experiment module invalidates only that experiment's cells.
+
+Payloads are stored exactly as the engine's canonical JSON form, so a
+cache hit is byte-identical to a fresh computation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``benchmarks/.cache`` in a repo checkout,
+    else a per-user cache directory."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / ".cache"
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+class CellCache:
+    """Filesystem-backed map: cell key -> canonical JSON payload."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, experiment: str, key: str) -> Path:
+        return self.root / experiment / f"{key}.json"
+
+    def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or ``None`` on miss or a corrupt entry."""
+        try:
+            entry = json.loads(self._path(experiment, key).read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("key") != key or "payload" not in entry:
+            return None
+        return entry["payload"]
+
+    def put(
+        self,
+        experiment: str,
+        key: str,
+        params: Dict[str, Any],
+        payload: Dict[str, Any],
+    ) -> None:
+        """Store ``payload`` atomically (concurrent writers are safe)."""
+        path = self._path(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "experiment": experiment,
+            "params": params,
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self, experiment: Optional[str] = None) -> int:
+        """Delete cached cells (all, or one experiment's); returns count."""
+        base = self.root / experiment if experiment else self.root
+        removed = 0
+        if base.is_dir():
+            for path in base.rglob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

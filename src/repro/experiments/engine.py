@@ -1,0 +1,232 @@
+"""Experiment executor: runs registered specs serially or across processes.
+
+The engine expands each :class:`ExperimentSpec` into its cells, computes
+every cell payload — inline, from the cell cache, or on a
+``ProcessPoolExecutor`` — and merges payloads back **in cell declaration
+order**, so ``--jobs N`` output is byte-identical to a serial run (each
+cell builds its own seeded simulator; nothing is shared).
+
+Byte-identity holds across the cache too: every payload, fresh or cached,
+passes through one canonical JSON round-trip before merging (``repr`` of a
+Python float round-trips exactly, so no precision is lost).
+
+Cache keys combine the experiment name, an explicit spec version, a
+fingerprint of the experiment's source files (the defining module plus the
+shared harness modules), the full scale preset, and the cell params —
+editing one experiment module invalidates only its own cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.cache import CellCache
+from repro.experiments.registry import (
+    Cell,
+    ExperimentSpec,
+    Params,
+    get_spec,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
+
+#: Bump when the engine's payload/caching semantics change.
+ENGINE_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# canonical forms
+# ----------------------------------------------------------------------
+def _canonical(payload: Params) -> Params:
+    """One JSON round-trip: the exact form cached cells replay."""
+    return json.loads(json.dumps(payload))
+
+
+def scale_to_dict(scale: ExperimentScale) -> Dict[str, Any]:
+    return _canonical(asdict(scale))
+
+
+def scale_from_dict(data: Dict[str, Any]) -> ExperimentScale:
+    data = dict(data)
+    data["thread_counts"] = tuple(data["thread_counts"])
+    return ExperimentScale(**data)
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+_file_digests: Dict[str, str] = {}
+
+
+def _file_digest(path: str) -> str:
+    digest = _file_digests.get(path)
+    if digest is None:
+        with open(path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        _file_digests[path] = digest
+    return digest
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Source-version fingerprint: the spec's defining module plus the
+    shared harness modules every cell routes through."""
+    from repro.experiments import runner, workload_runs
+
+    files = {runner.__file__, workload_runs.__file__}
+    module = sys.modules.get(spec.cell_fn.__module__)
+    if module is not None and getattr(module, "__file__", None):
+        files.add(module.__file__)
+    digest = hashlib.sha256()
+    digest.update(f"engine-schema:{ENGINE_SCHEMA};spec-version:{spec.version};".encode())
+    for path in sorted(files):
+        digest.update(_file_digest(path).encode())
+    return digest.hexdigest()
+
+
+def cell_key(spec: ExperimentSpec, scale: ExperimentScale, cell: Cell) -> str:
+    """Stable content hash identifying one cell's result."""
+    blob = json.dumps(
+        {
+            "experiment": spec.name,
+            "fingerprint": spec_fingerprint(spec),
+            "scale": scale_to_dict(scale),
+            "params": cell.as_dict(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+# ----------------------------------------------------------------------
+# cell computation (also the process-pool entry point)
+# ----------------------------------------------------------------------
+def compute_cell(spec_name: str, scale_dict: Dict[str, Any], params: Params) -> Params:
+    """Run one cell and return its canonical payload.
+
+    Top-level (and addressed by spec *name*) so a ``ProcessPoolExecutor``
+    can ship the call to a worker process, where the registry is rebuilt
+    by importing :mod:`repro.experiments`.
+    """
+    spec = get_spec(spec_name)
+    scale = scale_from_dict(scale_dict)
+    return _canonical(spec.cell_fn(scale, dict(params)))
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionReport:
+    """Results plus where their cells came from."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+    computed: int = 0
+    cached: int = 0
+
+    @property
+    def total_cells(self) -> int:
+        return self.computed + self.cached
+
+
+def execute(
+    specs: Sequence[Union[str, ExperimentSpec]],
+    scale: ExperimentScale = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    executor: Optional[Executor] = None,
+    cells_override: Optional[Sequence[Cell]] = None,
+) -> ExecutionReport:
+    """Run ``specs`` and return merged results in the order given.
+
+    ``jobs > 1`` fans cells out on a private :class:`ProcessPoolExecutor`
+    (or the caller's ``executor``).  ``cells_override`` replaces the cell
+    grid — only valid when running a single spec (the back-compat shims
+    use it for parameterised ``run(...)`` calls).
+    """
+    resolved = [get_spec(s) if isinstance(s, str) else s for s in specs]
+    if cells_override is not None and len(resolved) != 1:
+        raise ValueError("cells_override requires exactly one spec")
+
+    report = ExecutionReport()
+    plans: List[List[Cell]] = []
+    payloads: Dict[Tuple[int, int], Params] = {}
+    pending: List[Tuple[int, int, ExperimentSpec, Cell, Optional[str]]] = []
+    for spec_index, spec in enumerate(resolved):
+        cells = list(cells_override if cells_override is not None else spec.cells(scale))
+        plans.append(cells)
+        for cell_index, cell in enumerate(cells):
+            key = cell_key(spec, scale, cell) if cache is not None else None
+            hit = cache.get(spec.name, key) if cache is not None else None
+            if hit is not None:
+                payloads[(spec_index, cell_index)] = hit
+                report.cached += 1
+            else:
+                pending.append((spec_index, cell_index, spec, cell, key))
+
+    scale_dict = scale_to_dict(scale)
+
+    def _finish(slot: Tuple[int, int, ExperimentSpec, Cell, Optional[str]], payload: Params) -> None:
+        spec_index, cell_index, spec, cell, key = slot
+        payloads[(spec_index, cell_index)] = payload
+        report.computed += 1
+        if cache is not None and key is not None:
+            cache.put(spec.name, key, cell.as_dict(), payload)
+
+    if pending and (jobs > 1 or executor is not None) and len(pending) > 1:
+        pool = executor
+        owned = pool is None
+        if owned:
+            pool = ProcessPoolExecutor(max_workers=max(1, jobs))
+        try:
+            futures = {
+                pool.submit(compute_cell, slot[2].name, scale_dict, slot[3].as_dict()): slot
+                for slot in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _finish(futures[future], future.result())
+        finally:
+            if owned:
+                pool.shutdown()
+    else:
+        for slot in pending:
+            _finish(slot, _canonical(slot[2].cell_fn(scale, slot[3].as_dict())))
+
+    for spec_index, spec in enumerate(resolved):
+        ordered = [payloads[(spec_index, i)] for i in range(len(plans[spec_index]))]
+        report.results.append(spec.merge(scale, ordered))
+    return report
+
+
+def run_spec(
+    spec: Union[str, ExperimentSpec],
+    scale: ExperimentScale = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    executor: Optional[Executor] = None,
+    cells: Optional[Sequence[Cell]] = None,
+) -> ExperimentResult:
+    """Run one experiment and return its merged result."""
+    return execute(
+        [spec], scale, jobs=jobs, cache=cache, executor=executor, cells_override=cells
+    ).results[0]
+
+
+def run_specs(
+    specs: Sequence[Union[str, ExperimentSpec]],
+    scale: ExperimentScale = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    executor: Optional[Executor] = None,
+) -> List[ExperimentResult]:
+    """Run several experiments; results follow the requested order."""
+    return execute(specs, scale, jobs=jobs, cache=cache, executor=executor).results

@@ -7,22 +7,53 @@ flat.
 
 Reproduced by running YCSB-C under OSDP at ratios 1:1 … 8:1 from the
 distribution's steady-state resident set, and attributing each operation's
-time to compute vs. fault handling from the perf counters.
+time to compute vs. fault handling from the perf counters.  One cell per
+ratio; cells are independent machines, so they fan out under ``--jobs``.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
 RATIOS = (1.0, 2.0, 4.0, 8.0)
 
+TITLE = "YCSB-C execution time breakdown vs dataset:memory ratio (OSDP)"
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(ratio=ratio) for ratio in RATIOS]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    ratio = params["ratio"]
+    run_cell = run_kv_workload("ycsb-c", PagingMode.OSDP, scale, threads=4, ratio=ratio)
+    threads = run_cell.driver.threads
+    fault_time = sum(
+        stat.total
+        for thread in threads
+        for kind, stat in thread.perf.miss_latency.items()
+        if kind == "os-fault"
+    )
+    total_thread_time = run_cell.elapsed_ns * len(threads)
+    ops = run_cell.driver.total_operations
+    faults = sum(thread.perf.translations["os-fault"] for thread in threads)
+    return {
+        "ratio": ratio,
+        "time_per_op_us": (total_thread_time / ops) / 1000.0,
+        "fault_frac": fault_time / total_thread_time,
+        "fault_rate": faults / ops,
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="fig01",
-        title="YCSB-C execution time breakdown vs dataset:memory ratio (OSDP)",
+        title=TITLE,
         headers=[
             "ratio",
             "time_per_op_us",
@@ -34,26 +65,23 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "trend": "page-fault fraction grows with the ratio; compute time stays flat",
         },
     )
-    for ratio in RATIOS:
-        run_cell = run_kv_workload(
-            "ycsb-c", PagingMode.OSDP, scale, threads=4, ratio=ratio
-        )
-        threads = run_cell.driver.threads
-        fault_time = sum(
-            stat.total
-            for thread in threads
-            for kind, stat in thread.perf.miss_latency.items()
-            if kind == "os-fault"
-        )
-        total_thread_time = run_cell.elapsed_ns * len(threads)
-        ops = run_cell.driver.total_operations
-        faults = sum(thread.perf.translations["os-fault"] for thread in threads)
-        fault_frac = fault_time / total_thread_time
+    for payload in payloads:
         result.add_row(
-            ratio=f"{ratio:g}:1",
-            time_per_op_us=(total_thread_time / ops) / 1000.0,
-            compute_frac=1.0 - fault_frac,
-            fault_frac=fault_frac,
-            fault_rate=faults / ops,
+            ratio=f"{payload['ratio']:g}:1",
+            time_per_op_us=payload["time_per_op_us"],
+            compute_frac=1.0 - payload["fault_frac"],
+            fault_frac=payload["fault_frac"],
+            fault_rate=payload["fault_rate"],
         )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig01", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

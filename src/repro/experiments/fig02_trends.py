@@ -18,6 +18,9 @@ curated dataset with provenance rather than measuring hardware.
 
 from __future__ import annotations
 
+from typing import Dict, List
+
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
 
 #: (year, cpu_cycle_ns, dram_access_ns, disk_access_us, ssd_access_us)
@@ -35,11 +38,35 @@ TREND_SERIES = [
     (2019, 0.36, 40.0, 3_000.0, 10.9),
 ]
 
+TITLE = "performance trends of components (storage gap in CPU cycles)"
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    # Pure table derivation — one cell covers the whole series.
+    return [Cell.make()]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    rows = []
+    for year, cpu_ns, dram_ns, disk_us, ssd_us in TREND_SERIES:
+        rows.append(
+            {
+                "year": year,
+                "cpu_cycle_ns": cpu_ns,
+                "dram_ns": dram_ns,
+                "disk_us": disk_us,
+                "ssd_us": ssd_us,
+                "disk_gap_cycles": disk_us * 1000.0 / cpu_ns,
+                "ssd_gap_cycles": ssd_us * 1000.0 / cpu_ns if ssd_us is not None else None,
+            }
+        )
+    return {"rows": rows}
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="fig02",
-        title="performance trends of components (storage gap in CPU cycles)",
+        title=TITLE,
         headers=[
             "year",
             "cpu_cycle_ns",
@@ -54,16 +81,17 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "2019 ultra-low-latency SSD": "tens of thousands of CPU cycles",
         },
     )
-    for year, cpu_ns, dram_ns, disk_us, ssd_us in TREND_SERIES:
-        disk_gap = disk_us * 1000.0 / cpu_ns
-        ssd_gap = ssd_us * 1000.0 / cpu_ns if ssd_us is not None else None
-        result.add_row(
-            year=year,
-            cpu_cycle_ns=cpu_ns,
-            dram_ns=dram_ns,
-            disk_us=disk_us,
-            ssd_us=ssd_us,
-            disk_gap_cycles=disk_gap,
-            ssd_gap_cycles=ssd_gap,
-        )
+    for row in payloads[0]["rows"]:
+        result.add_row(**row)
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig02", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

@@ -9,12 +9,17 @@ latency SSD.  Reproduced two ways and cross-checked:
   FIO run (``repro.analysis.phases``) — each phase's mean time per fault
   must agree with the table, and the measured mean fault latency must be
   device time + critical-path overhead.
+
+A single traced run feeds the whole table, so this spec has one cell.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.analysis.phases import aggregate_phases, enable_tracing, merge_traces
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import (
     QUICK,
     ExperimentResult,
@@ -37,8 +42,14 @@ _TRACE_NAMES = {
     "pte_update_return": "return",
 }
 
+TITLE = "single page-fault latency breakdown (OSDP)"
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make()]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
     system = build(PagingMode.OSDP, scale)
     driver = FioRandomRead(
         ops_per_thread=min(scale.ops_per_thread, 80),
@@ -48,15 +59,32 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     enable_tracing(driver.threads)
     system.run(driver.launch(system))
 
-    device_ns = system.device.read_device_time.mean
     costs = system.config.osdp_costs
-    measured_total = driver.threads[0].perf.miss_latency["os-fault"].mean
     faults = driver.threads[0].perf.translations["os-fault"]
     breakdown = aggregate_phases(merge_traces(driver.threads))
+    return {
+        "device_ns": system.device.read_device_time.mean,
+        "measured_total": driver.threads[0].perf.miss_latency["os-fault"].mean,
+        "faults": faults,
+        "phase_table": [[phase, ns] for phase, ns in costs.phase_table().items()],
+        "traced_totals": {
+            name: total for name, total in breakdown.totals_ns.items()
+        },
+        "traced_total_ns": breakdown.total_ns,
+        "critical_path_ns": costs.critical_path_ns,
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    payload = payloads[0]
+    device_ns = payload["device_ns"]
+    measured_total = payload["measured_total"]
+    faults = payload["faults"]
+    traced_totals = payload["traced_totals"]
 
     result = ExperimentResult(
         name="fig03",
-        title="single page-fault latency breakdown (OSDP)",
+        title=TITLE,
         headers=[
             "phase",
             "ns",
@@ -74,11 +102,9 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         },
     )
     overlapped = {"context_switch_out"}
-    for phase, ns in costs.phase_table().items():
+    for phase, ns in payload["phase_table"]:
         trace_name = _TRACE_NAMES[phase]
-        measured = (
-            breakdown.totals_ns.get(trace_name, 0.0) / faults if faults else 0.0
-        )
+        measured = traced_totals.get(trace_name, 0.0) / faults if faults else 0.0
         result.add_row(
             phase=phase,
             ns=ns,
@@ -93,11 +119,11 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         pct_of_device=100.0,
         on_critical_path=True,
     )
-    critical = costs.critical_path_ns
+    critical = payload["critical_path_ns"]
     result.add_row(
         phase="TOTAL overhead (critical path)",
         ns=critical,
-        measured_ns_per_fault=breakdown.total_ns / faults if faults else 0.0,
+        measured_ns_per_fault=payload["traced_total_ns"] / faults if faults else 0.0,
         pct_of_device=100.0 * critical / device_ns,
         on_critical_path=True,
     )
@@ -111,6 +137,17 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     result.notes.append(
         f"measured fault latency {measured_total:,.0f} ns vs device "
         f"{device_ns:,.0f} ns + overhead {critical:,.0f} ns; traced phases "
-        f"cover {breakdown.total_ns / faults:,.0f} ns of kernel time per fault"
+        f"cover {payload['traced_total_ns'] / faults:,.0f} ns of kernel time per fault"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig03", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

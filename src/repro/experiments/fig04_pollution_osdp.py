@@ -7,43 +7,57 @@ pre-loading, so every first touch faults.  Results: OSDP reaches less than
 half of ideal's throughput, and its *user-level* IPC is visibly lower with
 more cache/branch misses — the microarchitectural pollution of frequent OS
 intervention.
+
+Two cells (ideal, OSDP); the merge computes the normalised columns.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, aggregate_perf
 from repro.experiments.workload_runs import run_kv_workload
 
 #: Dataset fills this fraction of memory (must fit for MAP_POPULATE).
 FIT_RATIO = 0.6
 
+_EVENTS = ("l1d_miss", "l2_miss", "llc_miss", "branch_miss")
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    ideal = run_kv_workload(
+TITLE = "ideal (no faults) vs OSDP: throughput, user IPC, miss events"
+
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(populate=True), Cell.make(populate=False)]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    cell = run_kv_workload(
         "ycsb-c",
         PagingMode.OSDP,
         scale,
         threads=4,
         ratio=FIT_RATIO,
         prewarm=False,
-        populate=True,
+        populate=params["populate"],
     )
-    osdp = run_kv_workload(
-        "ycsb-c",
-        PagingMode.OSDP,
-        scale,
-        threads=4,
-        ratio=FIT_RATIO,
-        prewarm=False,
-        populate=False,
-    )
-    ideal_perf = aggregate_perf(ideal.driver.threads)
-    osdp_perf = aggregate_perf(osdp.driver.threads)
+    perf = aggregate_perf(cell.driver.threads)
+    return {
+        "throughput": cell.throughput,
+        "user_ipc": perf.user_ipc,
+        "miss_rates": {event: perf.misses_per_kinstr(event) for event in _EVENTS},
+        "page_faults": float(
+            sum(t.perf.translations["os-fault"] for t in cell.driver.threads)
+        ),
+    }
 
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    ideal, osdp = payloads
     result = ExperimentResult(
         name="fig04",
-        title="ideal (no faults) vs OSDP: throughput, user IPC, miss events",
+        title=TITLE,
         headers=["metric", "ideal", "osdp", "osdp_normalized"],
         paper_reference={
             "throughput": "OSDP < 0.5x ideal",
@@ -53,19 +67,19 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     )
     result.add_row(
         metric="throughput (ops/s)",
-        ideal=ideal.throughput,
-        osdp=osdp.throughput,
-        osdp_normalized=osdp.throughput / ideal.throughput,
+        ideal=ideal["throughput"],
+        osdp=osdp["throughput"],
+        osdp_normalized=osdp["throughput"] / ideal["throughput"],
     )
     result.add_row(
         metric="user-level IPC",
-        ideal=ideal_perf.user_ipc,
-        osdp=osdp_perf.user_ipc,
-        osdp_normalized=osdp_perf.user_ipc / ideal_perf.user_ipc,
+        ideal=ideal["user_ipc"],
+        osdp=osdp["user_ipc"],
+        osdp_normalized=osdp["user_ipc"] / ideal["user_ipc"],
     )
-    for event in ("l1d_miss", "l2_miss", "llc_miss", "branch_miss"):
-        ideal_rate = ideal_perf.misses_per_kinstr(event)
-        osdp_rate = osdp_perf.misses_per_kinstr(event)
+    for event in _EVENTS:
+        ideal_rate = ideal["miss_rates"][event]
+        osdp_rate = osdp["miss_rates"][event]
         result.add_row(
             metric=f"{event} / kinstr",
             ideal=ideal_rate,
@@ -74,8 +88,19 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         )
     result.add_row(
         metric="page faults",
-        ideal=float(sum(t.perf.translations["os-fault"] for t in ideal.driver.threads)),
-        osdp=float(sum(t.perf.translations["os-fault"] for t in osdp.driver.threads)),
+        ideal=ideal["page_faults"],
+        osdp=osdp["page_faults"],
         osdp_normalized=None,
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig04", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

@@ -9,12 +9,15 @@ the device I/O.  (b) lists the hardware actions with their cycle/ns costs
 
 Both sub-figures are reproduced: (a) from measured single-fault runs in
 each mode, (b) from the SMU timing configuration, cross-checked against the
-SMU's measured before/after stall statistics.
+SMU's measured before/after stall statistics.  One cell per mode.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import (
     QUICK,
     ExperimentResult,
@@ -24,65 +27,34 @@ from repro.experiments.runner import (
 )
 from repro.workloads.fio import FioRandomRead
 
+TITLE = "single page miss: OSDP vs HWDP breakdown + HWDP timeline"
 
-def _measure(mode: PagingMode, scale: ExperimentScale):
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(mode=PagingMode.OSDP.value), Cell.make(mode=PagingMode.HWDP.value)]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    mode = PagingMode(params["mode"])
     system = build(mode, scale)
     driver = FioRandomRead(
         ops_per_thread=min(scale.ops_per_thread, 80),
         file_pages=scale.memory_frames * 4,
     )
     run_driver(system, driver, num_threads=1)
-    return system, driver
 
+    if mode is PagingMode.OSDP:
+        costs = system.config.osdp_costs
+        return {
+            "before_device_ns": costs.before_device_ns,
+            "after_device_ns": costs.after_device_ns,
+            "fault_ns": driver.threads[0].perf.miss_latency["os-fault"].mean,
+        }
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    osdp_system, osdp_driver = _measure(PagingMode.OSDP, scale)
-    hwdp_system, hwdp_driver = _measure(PagingMode.HWDP, scale)
-
-    device_ns = hwdp_system.device.read_device_time.mean
-    osdp_costs = osdp_system.config.osdp_costs
-    smu = hwdp_system.smu
-    cpu = hwdp_system.config.cpu
-    smu_config = hwdp_system.config.smu
-
-    hw_before = smu.before_device_stat.mean
-    hw_after = smu.after_device_stat.mean
-    osdp_fault = osdp_driver.threads[0].perf.miss_latency["os-fault"].mean
-    hwdp_fault = hwdp_driver.threads[0].perf.miss_latency["hw-miss"].mean
-
-    result = ExperimentResult(
-        name="fig11",
-        title="single page miss: OSDP vs HWDP breakdown + HWDP timeline",
-        headers=["row", "osdp_ns", "hwdp_ns", "delta_ns"],
-        paper_reference={
-            "before-device reduction": "2.38 us",
-            "after-device reduction": "6.16 us",
-            "NVMe command write": "77.16 ns",
-            "PCIe doorbell write": "1.60 ns",
-            "entry update": "97 cycles",
-        },
-    )
-    result.add_row(
-        row="before device I/O",
-        osdp_ns=osdp_costs.before_device_ns,
-        hwdp_ns=hw_before,
-        delta_ns=osdp_costs.before_device_ns - hw_before,
-    )
-    result.add_row(
-        row="after device I/O",
-        osdp_ns=osdp_costs.after_device_ns,
-        hwdp_ns=hw_after,
-        delta_ns=osdp_costs.after_device_ns - hw_after,
-    )
-    result.add_row(row="device I/O", osdp_ns=device_ns, hwdp_ns=device_ns, delta_ns=0.0)
-    result.add_row(
-        row="measured total fault latency",
-        osdp_ns=osdp_fault,
-        hwdp_ns=hwdp_fault,
-        delta_ns=osdp_fault - hwdp_fault,
-    )
-
-    # -- (b): the hardware timeline ------------------------------------
+    smu = system.smu
+    cpu = system.config.cpu
+    smu_config = system.config.smu
+    device_ns = system.device.read_device_time.mean
     timeline = [
         ("register writes (MMU→SMU)", cpu.cycles_to_ns(smu_config.request_reg_write_cycles)),
         ("PMSHR CAM lookup", cpu.cycles_to_ns(smu_config.cam_lookup_cycles)),
@@ -95,7 +67,55 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         ("PTE/PMD/PUD update (97 cyc)", cpu.cycles_to_ns(smu_config.entry_update_cycles)),
         ("notify MMU", cpu.cycles_to_ns(smu_config.notify_cycles)),
     ]
-    for label, ns in timeline:
+    return {
+        "hw_before_ns": smu.before_device_stat.mean,
+        "hw_after_ns": smu.after_device_stat.mean,
+        "fault_ns": driver.threads[0].perf.miss_latency["hw-miss"].mean,
+        "device_ns": device_ns,
+        "timeline": [[label, ns] for label, ns in timeline],
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    osdp, hwdp = payloads
+    device_ns = hwdp["device_ns"]
+    hw_before = hwdp["hw_before_ns"]
+    hw_after = hwdp["hw_after_ns"]
+
+    result = ExperimentResult(
+        name="fig11",
+        title=TITLE,
+        headers=["row", "osdp_ns", "hwdp_ns", "delta_ns"],
+        paper_reference={
+            "before-device reduction": "2.38 us",
+            "after-device reduction": "6.16 us",
+            "NVMe command write": "77.16 ns",
+            "PCIe doorbell write": "1.60 ns",
+            "entry update": "97 cycles",
+        },
+    )
+    result.add_row(
+        row="before device I/O",
+        osdp_ns=osdp["before_device_ns"],
+        hwdp_ns=hw_before,
+        delta_ns=osdp["before_device_ns"] - hw_before,
+    )
+    result.add_row(
+        row="after device I/O",
+        osdp_ns=osdp["after_device_ns"],
+        hwdp_ns=hw_after,
+        delta_ns=osdp["after_device_ns"] - hw_after,
+    )
+    result.add_row(row="device I/O", osdp_ns=device_ns, hwdp_ns=device_ns, delta_ns=0.0)
+    result.add_row(
+        row="measured total fault latency",
+        osdp_ns=osdp["fault_ns"],
+        hwdp_ns=hwdp["fault_ns"],
+        delta_ns=osdp["fault_ns"] - hwdp["fault_ns"],
+    )
+
+    # -- (b): the hardware timeline ------------------------------------
+    for label, ns in hwdp["timeline"]:
         result.add_row(row=f"timeline: {label}", osdp_ns=None, hwdp_ns=ns, delta_ns=None)
 
     result.notes.append(
@@ -104,3 +124,14 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         f"{device_ns/1000:.1f} us device access)"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig11", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

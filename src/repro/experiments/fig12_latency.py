@@ -5,11 +5,16 @@ application-perceived per-read latency, OSDP vs HWDP, at 1/2/4/8 threads.
 The paper's result: HWDP cuts latency by up to 37 % at one thread, decaying
 to 27 % at eight threads (all physical cores busy, kthreads contending,
 device queueing increasing).
+
+One cell per (threads, mode) pair — 8 cells at the default thread sweep.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import (
     QUICK,
     ExperimentResult,
@@ -19,30 +24,45 @@ from repro.experiments.runner import (
 )
 from repro.workloads.fio import FioRandomRead
 
+TITLE = "FIO mmap 4KB random-read latency vs thread count"
 
-def _mean_latency(mode: PagingMode, threads: int, scale: ExperimentScale) -> float:
-    system = build(mode, scale)
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        Cell.make(threads=threads, mode=mode.value)
+        for threads in scale.thread_counts
+        for mode in (PagingMode.OSDP, PagingMode.HWDP)
+    ]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    system = build(PagingMode(params["mode"]), scale)
     driver = FioRandomRead(
         ops_per_thread=scale.ops_per_thread,
         file_pages=scale.memory_frames * 4,  # dataset >> memory: cold misses
     )
-    run_driver(system, driver, num_threads=threads)
-    return driver.op_latency.mean
+    run_driver(system, driver, num_threads=params["threads"])
+    return {
+        "threads": params["threads"],
+        "mode": params["mode"],
+        "latency_ns": driver.op_latency.mean,
+    }
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="fig12",
-        title="FIO mmap 4KB random-read latency vs thread count",
+        title=TITLE,
         headers=["threads", "osdp_us", "hwdp_us", "reduction_pct"],
         paper_reference={
             "1 thread": "37.0 % latency reduction",
             "8 threads": "27.0 % latency reduction",
         },
     )
-    for threads in scale.thread_counts:
-        osdp = _mean_latency(PagingMode.OSDP, threads, scale)
-        hwdp = _mean_latency(PagingMode.HWDP, threads, scale)
+    latency = {(p["threads"], p["mode"]): p["latency_ns"] for p in payloads}
+    for threads in dict.fromkeys(p["threads"] for p in payloads):
+        osdp = latency[(threads, PagingMode.OSDP.value)]
+        hwdp = latency[(threads, PagingMode.HWDP.value)]
         result.add_row(
             threads=threads,
             osdp_us=osdp / 1000.0,
@@ -50,3 +70,14 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             reduction_pct=100.0 * (1.0 - hwdp / osdp),
         )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig12", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

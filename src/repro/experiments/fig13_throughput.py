@@ -8,29 +8,55 @@ memory (2:1):
   read-only YCSB-C the best because writes inflate SSD read latency;
 * gains shrink as threads grow (write traffic and contention increase).
 
-Each cell runs both modes from the same steady-state resident set and seed.
+Each (workload, threads, mode) triple is one cell running from the same
+steady-state resident set and seed — the biggest grid in the suite
+(56 cells at the default sweep), and the main beneficiary of ``--jobs``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
 WORKLOADS = ("fio", "dbbench", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-f")
 
+TITLE = "throughput gain of HWDP over OSDP (dataset:memory = 2:1)"
 
-def run(
-    scale: ExperimentScale = QUICK,
+
+def _make_cells(
+    scale: ExperimentScale,
     workloads: Sequence[str] = WORKLOADS,
-    thread_counts: Sequence[int] = None,
-) -> ExperimentResult:
+    thread_counts: Optional[Sequence[int]] = None,
+) -> List[Cell]:
     thread_counts = thread_counts or scale.thread_counts
+    return [
+        Cell.make(workload=workload, threads=threads, mode=mode.value)
+        for workload in workloads
+        for threads in thread_counts
+        for mode in (PagingMode.OSDP, PagingMode.HWDP)
+    ]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    cell = run_kv_workload(
+        params["workload"], PagingMode(params["mode"]), scale, threads=params["threads"]
+    )
+    return {
+        "workload": params["workload"],
+        "threads": params["threads"],
+        "mode": params["mode"],
+        "throughput": cell.throughput,
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="fig13",
-        title="throughput gain of HWDP over OSDP (dataset:memory = 2:1)",
+        title=TITLE,
         headers=["workload", "threads", "osdp_kops", "hwdp_kops", "gain_pct"],
         paper_reference={
             "FIO/DBBench": "+29.4 % … +57.1 %",
@@ -38,15 +64,36 @@ def run(
             "threads": "gains shrink as thread count grows",
         },
     )
-    for workload in workloads:
-        for threads in thread_counts:
-            osdp = run_kv_workload(workload, PagingMode.OSDP, scale, threads=threads)
-            hwdp = run_kv_workload(workload, PagingMode.HWDP, scale, threads=threads)
-            result.add_row(
-                workload=workload,
-                threads=threads,
-                osdp_kops=osdp.throughput / 1000.0,
-                hwdp_kops=hwdp.throughput / 1000.0,
-                gain_pct=100.0 * (hwdp.throughput / osdp.throughput - 1.0),
-            )
+    throughput = {
+        (p["workload"], p["threads"], p["mode"]): p["throughput"] for p in payloads
+    }
+    for workload, threads in dict.fromkeys(
+        (p["workload"], p["threads"]) for p in payloads
+    ):
+        osdp = throughput[(workload, threads, PagingMode.OSDP.value)]
+        hwdp = throughput[(workload, threads, PagingMode.HWDP.value)]
+        result.add_row(
+            workload=workload,
+            threads=threads,
+            osdp_kops=osdp / 1000.0,
+            hwdp_kops=hwdp / 1000.0,
+            gain_pct=100.0 * (hwdp / osdp - 1.0),
+        )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig13", title=TITLE, cells=_make_cells, cell_fn=_cell, merge=_merge
+    )
+)
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = WORKLOADS,
+    thread_counts: Sequence[int] = None,
+) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale, cells=_make_cells(scale, workloads, thread_counts))

@@ -4,24 +4,53 @@ The paper measures user-level PMU events on the real machine: with HWDP,
 99.9 % of page faults are replaced by hardware page-miss handling, the
 user-level IPC improves by 7.0 %, and user-level cache/branch miss events
 drop — evidence the OS context no longer pollutes the core.
+
+One cell per mode; the merge computes the normalised columns.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, aggregate_perf
 from repro.experiments.workload_runs import run_kv_workload
 
+_EVENTS = ("l1d_miss", "l2_miss", "llc_miss", "branch_miss")
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    osdp = run_kv_workload("ycsb-c", PagingMode.OSDP, scale, threads=4, ratio=2.0)
-    hwdp = run_kv_workload("ycsb-c", PagingMode.HWDP, scale, threads=4, ratio=2.0)
-    osdp_perf = aggregate_perf(osdp.driver.threads)
-    hwdp_perf = aggregate_perf(hwdp.driver.threads)
+TITLE = "YCSB-C (4 threads): normalized throughput, user IPC, miss events"
 
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(mode=PagingMode.OSDP.value), Cell.make(mode=PagingMode.HWDP.value)]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    mode = PagingMode(params["mode"])
+    cell = run_kv_workload("ycsb-c", mode, scale, threads=4, ratio=2.0)
+    perf = aggregate_perf(cell.driver.threads)
+    payload = {
+        "throughput": cell.throughput,
+        "user_ipc": perf.user_ipc,
+        "miss_rates": {event: perf.misses_per_kinstr(event) for event in _EVENTS},
+    }
+    if mode is PagingMode.HWDP:
+        payload["hw_misses"] = sum(
+            t.perf.translations["hw-miss"] for t in cell.driver.threads
+        )
+        payload["exceptions"] = sum(
+            t.perf.translations["os-fault"] + t.perf.translations["hw-fallback-fault"]
+            for t in cell.driver.threads
+        )
+    return payload
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    osdp, hwdp = payloads
     result = ExperimentResult(
         name="fig14",
-        title="YCSB-C (4 threads): normalized throughput, user IPC, miss events",
+        title=TITLE,
         headers=["metric", "osdp", "hwdp", "hwdp_normalized"],
         paper_reference={
             "user-level IPC": "+7.0 % under HWDP",
@@ -31,36 +60,41 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     )
     result.add_row(
         metric="throughput (ops/s)",
-        osdp=osdp.throughput,
-        hwdp=hwdp.throughput,
-        hwdp_normalized=hwdp.throughput / osdp.throughput,
+        osdp=osdp["throughput"],
+        hwdp=hwdp["throughput"],
+        hwdp_normalized=hwdp["throughput"] / osdp["throughput"],
     )
     result.add_row(
         metric="user-level IPC",
-        osdp=osdp_perf.user_ipc,
-        hwdp=hwdp_perf.user_ipc,
-        hwdp_normalized=hwdp_perf.user_ipc / osdp_perf.user_ipc,
+        osdp=osdp["user_ipc"],
+        hwdp=hwdp["user_ipc"],
+        hwdp_normalized=hwdp["user_ipc"] / osdp["user_ipc"],
     )
-    for event in ("l1d_miss", "l2_miss", "llc_miss", "branch_miss"):
-        osdp_rate = osdp_perf.misses_per_kinstr(event)
-        hwdp_rate = hwdp_perf.misses_per_kinstr(event)
+    for event in _EVENTS:
+        osdp_rate = osdp["miss_rates"][event]
+        hwdp_rate = hwdp["miss_rates"][event]
         result.add_row(
             metric=f"{event} / kinstr",
             osdp=osdp_rate,
             hwdp=hwdp_rate,
             hwdp_normalized=hwdp_rate / osdp_rate if osdp_rate else None,
         )
-
-    hw_misses = sum(t.perf.translations["hw-miss"] for t in hwdp.driver.threads)
-    exceptions = sum(
-        t.perf.translations["os-fault"] + t.perf.translations["hw-fallback-fault"]
-        for t in hwdp.driver.threads
-    )
-    total = hw_misses + exceptions
+    total = hwdp["hw_misses"] + hwdp["exceptions"]
     result.add_row(
         metric="fraction of misses handled in hardware",
         osdp=0.0,
-        hwdp=hw_misses / total if total else None,
+        hwdp=hwdp["hw_misses"] / total if total else None,
         hwdp_normalized=None,
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig14", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

@@ -4,38 +4,59 @@ The paper reports a 62.6 % reduction in total kernel-context retired
 instructions under HWDP — the block layer is gone and OS metadata updates
 are batched — with kpted and kpoold shown as separate (small) bars next to
 the application threads' kernel context.
+
+One cell per mode; the HWDP cell also reports the daemons' counters.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
+TITLE = "kernel-context retired instructions and cycles per operation"
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    osdp = run_kv_workload("ycsb-c", PagingMode.OSDP, scale, threads=4, ratio=2.0)
-    hwdp = run_kv_workload("ycsb-c", PagingMode.HWDP, scale, threads=4, ratio=2.0)
 
-    def app_kernel(run_cell):
-        instr = sum(t.perf.kernel_instructions for t in run_cell.driver.threads)
-        cycles = sum(t.perf.kernel_cycles for t in run_cell.driver.threads)
-        return instr, cycles
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make(mode=PagingMode.OSDP.value), Cell.make(mode=PagingMode.HWDP.value)]
 
-    osdp_instr, osdp_cycles = app_kernel(osdp)
-    hwdp_instr, hwdp_cycles = app_kernel(hwdp)
 
-    kthreads = {t.name: t for t in hwdp.system.kthread_threads}
-    kpted_perf = kthreads["kpted"].perf
-    kpoold_perf = kthreads.get("kpoold").perf if "kpoold" in kthreads else None
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    mode = PagingMode(params["mode"])
+    cell = run_kv_workload("ycsb-c", mode, scale, threads=4, ratio=2.0)
+    payload = {
+        "instr": sum(t.perf.kernel_instructions for t in cell.driver.threads),
+        "cycles": sum(t.perf.kernel_cycles for t in cell.driver.threads),
+        "ops": cell.driver.total_operations,
+    }
+    if mode is PagingMode.HWDP:
+        kthreads = {t.name: t for t in cell.system.kthread_threads}
+        kpted = kthreads["kpted"].perf
+        payload["kpted"] = {
+            "instr": kpted.kernel_instructions,
+            "cycles": kpted.kernel_cycles,
+        }
+        if "kpoold" in kthreads:
+            kpoold = kthreads["kpoold"].perf
+            payload["kpoold"] = {
+                "instr": kpoold.kernel_instructions,
+                "cycles": kpoold.kernel_cycles,
+            }
+    return payload
 
-    # Normalise per completed operation so the two runs are comparable.
-    osdp_ops = osdp.driver.total_operations
-    hwdp_ops = hwdp.driver.total_operations
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    osdp, hwdp = payloads
+    osdp_ops, hwdp_ops = osdp["ops"], hwdp["ops"]
+    kpted = hwdp["kpted"]
+    kpoold = hwdp.get("kpoold")
 
     result = ExperimentResult(
         name="fig15",
-        title="kernel-context retired instructions and cycles per operation",
+        title=TITLE,
         headers=["context", "mode", "instr_per_op", "cycles_per_op"],
         paper_reference={
             "total kernel instructions": "-62.6 % under HWDP",
@@ -45,34 +66,32 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     result.add_row(
         context="app threads (kernel)",
         mode="osdp",
-        instr_per_op=osdp_instr / osdp_ops,
-        cycles_per_op=osdp_cycles / osdp_ops,
+        instr_per_op=osdp["instr"] / osdp_ops,
+        cycles_per_op=osdp["cycles"] / osdp_ops,
     )
     result.add_row(
         context="app threads (kernel)",
         mode="hwdp",
-        instr_per_op=hwdp_instr / hwdp_ops,
-        cycles_per_op=hwdp_cycles / hwdp_ops,
+        instr_per_op=hwdp["instr"] / hwdp_ops,
+        cycles_per_op=hwdp["cycles"] / hwdp_ops,
     )
     result.add_row(
         context="kpted",
         mode="hwdp",
-        instr_per_op=kpted_perf.kernel_instructions / hwdp_ops,
-        cycles_per_op=kpted_perf.kernel_cycles / hwdp_ops,
+        instr_per_op=kpted["instr"] / hwdp_ops,
+        cycles_per_op=kpted["cycles"] / hwdp_ops,
     )
-    if kpoold_perf is not None:
+    if kpoold is not None:
         result.add_row(
             context="kpoold",
             mode="hwdp",
-            instr_per_op=kpoold_perf.kernel_instructions / hwdp_ops,
-            cycles_per_op=kpoold_perf.kernel_cycles / hwdp_ops,
+            instr_per_op=kpoold["instr"] / hwdp_ops,
+            cycles_per_op=kpoold["cycles"] / hwdp_ops,
         )
     hwdp_total = (
-        hwdp_instr
-        + kpted_perf.kernel_instructions
-        + (kpoold_perf.kernel_instructions if kpoold_perf else 0.0)
+        hwdp["instr"] + kpted["instr"] + (kpoold["instr"] if kpoold else 0.0)
     ) / hwdp_ops
-    osdp_total = osdp_instr / osdp_ops
+    osdp_total = osdp["instr"] / osdp_ops
     result.add_row(
         context="TOTAL kernel instructions",
         mode="hwdp vs osdp",
@@ -85,3 +104,14 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     )
     result.paper_reference["measured reduction"] = f"{reduction:.1f} %"
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig15", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

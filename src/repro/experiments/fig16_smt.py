@@ -10,13 +10,16 @@ paper's findings, reproduced here per SPEC kernel:
 (c) the co-running SPEC thread's user IPC is higher under HWDP, because a
     stalled pipeline (HWDP) consumes no shared resources while the OSDP
     fault path issues kernel instructions and pollutes shared state.
+
+One cell per (SPEC kernel, mode) pair — 10 cells at the default kernel set.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, build
 from repro.workloads.fio import FioRandomRead
 from repro.workloads.spec import SpecCompute
@@ -25,28 +28,46 @@ DEFAULT_KERNELS = ("mcf", "xalancbmk", "deepsjeng", "leela", "exchange2")
 #: Fixed experiment duration (the paper runs 30 s; scaled down).
 RUN_DURATION_NS = 1_200_000.0
 
+TITLE = "SMT co-location: FIO + SPEC sibling, OSDP vs HWDP"
 
-def _corun(mode: PagingMode, kernel: str, scale: ExperimentScale):
-    system = build(mode, scale)
+
+def _make_cells(
+    scale: ExperimentScale, kernels: Sequence[str] = DEFAULT_KERNELS
+) -> List[Cell]:
+    return [
+        Cell.make(kernel=kernel, mode=mode.value)
+        for kernel in kernels
+        for mode in (PagingMode.OSDP, PagingMode.HWDP)
+    ]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    system = build(PagingMode(params["mode"]), scale)
     fio = FioRandomRead(
         ops_per_thread=10 ** 9,  # duration-bound, not op-bound
         file_pages=scale.memory_frames * 4,
         duration_ns=RUN_DURATION_NS,
     )
     fio.prepare(system, num_threads=1)  # physical core 0, lane 0
-    spec = SpecCompute(kernel, duration_ns=RUN_DURATION_NS, core_index=0, lane=1)
+    spec = SpecCompute(params["kernel"], duration_ns=RUN_DURATION_NS, core_index=0, lane=1)
     spec.prepare(system, num_threads=1)
     procs = fio.launch(system) + spec.launch(system)
     system.run(procs)
-    return fio, spec
+    fio_perf = fio.threads[0].perf
+    return {
+        "kernel": params["kernel"],
+        "mode": params["mode"],
+        "fio_ops": fio.total_operations,
+        "fio_user": fio_perf.user_instructions,
+        "fio_total": fio_perf.total_instructions,
+        "spec_ipc": spec.threads[0].perf.user_ipc,
+    }
 
 
-def run(
-    scale: ExperimentScale = QUICK, kernels: Sequence[str] = DEFAULT_KERNELS
-) -> ExperimentResult:
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="fig16",
-        title="SMT co-location: FIO + SPEC sibling, OSDP vs HWDP",
+        title=TITLE,
         headers=[
             "spec_kernel",
             "fio_gain",
@@ -60,18 +81,10 @@ def run(
             "SPEC IPC": "higher with HWDP for every workload",
         },
     )
-    for kernel in kernels:
-        cells = {}
-        for mode in (PagingMode.OSDP, PagingMode.HWDP):
-            fio, spec = _corun(mode, kernel, scale)
-            fio_perf = fio.threads[0].perf
-            cells[mode] = {
-                "fio_ops": fio.total_operations,
-                "fio_user": fio_perf.user_instructions,
-                "fio_total": fio_perf.total_instructions,
-                "spec_ipc": spec.threads[0].perf.user_ipc,
-            }
-        osdp, hwdp = cells[PagingMode.OSDP], cells[PagingMode.HWDP]
+    cells = {(p["kernel"], p["mode"]): p for p in payloads}
+    for kernel in dict.fromkeys(p["kernel"] for p in payloads):
+        osdp = cells[(kernel, PagingMode.OSDP.value)]
+        hwdp = cells[(kernel, PagingMode.HWDP.value)]
         result.add_row(
             spec_kernel=kernel,
             fio_gain=hwdp["fio_ops"] / osdp["fio_ops"],
@@ -80,3 +93,18 @@ def run(
             spec_ipc_gain=hwdp["spec_ipc"] / osdp["spec_ipc"],
         )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig16", title=TITLE, cells=_make_cells, cell_fn=_cell, merge=_merge
+    )
+)
+
+
+def run(
+    scale: ExperimentScale = QUICK, kernels: Sequence[str] = DEFAULT_KERNELS
+) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale, cells=_make_cells(scale, kernels))

@@ -8,12 +8,16 @@ the residual software time is a constant that looms larger as devices get
 faster.
 
 Reproduced by measuring the mean single-fault latency of SWDP and HWDP
-machines on the three device presets and normalising to SW-only.
+machines on the three device presets and normalising to SW-only.  One cell
+per (device, mode) pair — 6 cells.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import DEVICE_PRESETS, PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import (
     QUICK,
     ExperimentResult,
@@ -26,21 +30,38 @@ from repro.workloads.fio import FioRandomRead
 #: Translation kinds carrying the fault latency in each mode.
 _FAULT_KIND = {PagingMode.SWDP: "os-fault", PagingMode.HWDP: "hw-miss"}
 
+_DEVICES = ("z-ssd", "optane-ssd", "optane-pmm")
 
-def _fault_latency(mode: PagingMode, device_name: str, scale: ExperimentScale) -> float:
-    system = build(mode, scale, device=DEVICE_PRESETS[device_name])
+TITLE = "SW-only vs HWDP single-fault latency by device"
+
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        Cell.make(device=device, mode=mode.value)
+        for device in _DEVICES
+        for mode in (PagingMode.SWDP, PagingMode.HWDP)
+    ]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    mode = PagingMode(params["mode"])
+    system = build(mode, scale, device=DEVICE_PRESETS[params["device"]])
     driver = FioRandomRead(
         ops_per_thread=min(scale.ops_per_thread, 80),
         file_pages=scale.memory_frames * 4,
     )
     run_driver(system, driver, num_threads=1)
-    return driver.threads[0].perf.miss_latency[_FAULT_KIND[mode]].mean
+    return {
+        "device": params["device"],
+        "mode": params["mode"],
+        "fault_ns": driver.threads[0].perf.miss_latency[_FAULT_KIND[mode]].mean,
+    }
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="fig17",
-        title="SW-only vs HWDP single-fault latency by device",
+        title=TITLE,
         headers=[
             "device",
             "device_time_us",
@@ -55,9 +76,10 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "optane-pmm (2.1us)": "HWDP ~44 % lower (about half the latency)",
         },
     )
-    for device_name in ("z-ssd", "optane-ssd", "optane-pmm"):
-        sw = _fault_latency(PagingMode.SWDP, device_name, scale)
-        hw = _fault_latency(PagingMode.HWDP, device_name, scale)
+    latency = {(p["device"], p["mode"]): p["fault_ns"] for p in payloads}
+    for device_name in dict.fromkeys(p["device"] for p in payloads):
+        sw = latency[(device_name, PagingMode.SWDP.value)]
+        hw = latency[(device_name, PagingMode.HWDP.value)]
         result.add_row(
             device=device_name,
             device_time_us=DEVICE_PRESETS[device_name].read_latency_ns / 1000.0,
@@ -71,3 +93,14 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         "for hardware-based demand paging"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="fig17", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

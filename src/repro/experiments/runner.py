@@ -201,6 +201,38 @@ class ExperimentResult:
         raise KeyError(f"no row matching {match} in {self.name}")
 
     # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to JSON (the process-boundary / cache wire format)."""
+        import json
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "paper_reference": self.paper_reference,
+                "notes": self.notes,
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`; round-trips to identical text."""
+        import json
+
+        data = json.loads(text)
+        return cls(
+            name=data["name"],
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[dict(row) for row in data["rows"]],
+            paper_reference=dict(data["paper_reference"]),
+            notes=list(data["notes"]),
+        )
+
+    # ------------------------------------------------------------------
     def to_text(self) -> str:
         lines = [f"== {self.name}: {self.title} =="]
         table = [self.headers] + [

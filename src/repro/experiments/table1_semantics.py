@@ -3,11 +3,15 @@
 Reproduced directly from the codec: each row of the paper's table is
 encoded, decoded, and its model status printed next to the paper's wording.
 This "experiment" is a semantics audit rather than a measurement — it
-proves the implementation's state machine is the paper's.
+proves the implementation's state machine is the paper's.  A single cell
+covers the whole table (the audit is instantaneous).
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
 from repro.vm.pte import (
     LBA_BIT,
@@ -21,15 +25,14 @@ from repro.vm.pte import (
     table1_rows,
 )
 
+TITLE = "PTE / PMD / PUD status by (LBA bit, present bit)"
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    result = ExperimentResult(
-        name="table1",
-        title="PTE / PMD / PUD status by (LBA bit, present bit)",
-        headers=["type", "lba", "present", "pfn_field", "codec_status", "matches"],
-        paper_reference={"rows": "Table I of the paper (6 rows)"},
-    )
 
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [Cell.make()]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
     # Encode a live example of each leaf row and check the codec agrees.
     live = {
         (0, 0): pte_status(make_swap_pte(7)),
@@ -49,6 +52,7 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     }
     expected_upper = {0: UpperStatus.NO_SYNC_NEEDED, 1: UpperStatus.SYNC_NEEDED}
 
+    rows = []
     for row_type, lba, present, pfn_field, description in table1_rows():
         if row_type == "PTE":
             status = live[(lba, present)]
@@ -56,12 +60,37 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         else:
             status = upper_live[lba]
             matches = status is expected_upper[lba]
-        result.add_row(
-            type=row_type,
-            lba=lba,
-            present=present,
-            pfn_field=pfn_field,
-            codec_status=status.value,
-            matches=matches,
+        rows.append(
+            {
+                "type": row_type,
+                "lba": lba,
+                "present": present,
+                "pfn_field": pfn_field,
+                "codec_status": status.value,
+                "matches": matches,
+            }
         )
+    return {"rows": rows}
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    result = ExperimentResult(
+        name="table1",
+        title=TITLE,
+        headers=["type", "lba", "present", "pfn_field", "codec_status", "matches"],
+        paper_reference={"rows": "Table I of the paper (6 rows)"},
+    )
+    for row in payloads[0]["rows"]:
+        result.add_row(**row)
     return result
+
+
+SPEC = register(
+    ExperimentSpec(name="table1", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

@@ -5,19 +5,50 @@ Hardware miss handling removes the jittery parts of the fault path —
 scheduler wake-ups, reclaim bursts, interrupt delivery — so HWDP should
 compress p99 at least as much as it compresses the mean.  This experiment
 quantifies that for FIO (uniform) and YCSB-C (skewed) at four threads.
+
+One cell per (workload, mode) pair — 4 cells.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
+_WORKLOADS = ("fio", "ycsb-c")
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+TITLE = "per-op latency percentiles, OSDP vs HWDP (4 threads)"
+
+
+def _cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        Cell.make(workload=workload, mode=mode.value)
+        for workload in _WORKLOADS
+        for mode in (PagingMode.OSDP, PagingMode.HWDP)
+    ]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    cell = run_kv_workload(
+        params["workload"], PagingMode(params["mode"]), scale, threads=4
+    )
+    latency = cell.driver.op_latency
+    return {
+        "workload": params["workload"],
+        "mode": params["mode"],
+        "mean_ns": latency.mean,
+        "p50_ns": latency.percentile(50),
+        "p99_ns": latency.percentile(99),
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
     result = ExperimentResult(
         name="tail-latency",
-        title="per-op latency percentiles, OSDP vs HWDP (4 threads)",
+        title=TITLE,
         headers=[
             "workload",
             "mode",
@@ -31,23 +62,38 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             "same mechanism — the OS jitter leaves the miss path",
         },
     )
-    for workload in ("fio", "ycsb-c"):
-        cells = {}
-        for mode in (PagingMode.OSDP, PagingMode.HWDP):
-            cells[mode] = run_kv_workload(workload, mode, scale, threads=4)
-        p99 = {
-            mode: cell.driver.op_latency.percentile(99)
-            for mode, cell in cells.items()
-        }
-        reduction = 100.0 * (1.0 - p99[PagingMode.HWDP] / p99[PagingMode.OSDP])
-        for mode, cell in cells.items():
-            latency = cell.driver.op_latency
+    cells = {(p["workload"], p["mode"]): p for p in payloads}
+    for workload in dict.fromkeys(p["workload"] for p in payloads):
+        osdp = cells[(workload, PagingMode.OSDP.value)]
+        hwdp = cells[(workload, PagingMode.HWDP.value)]
+        reduction = 100.0 * (1.0 - hwdp["p99_ns"] / osdp["p99_ns"])
+        for payload in (osdp, hwdp):
             result.add_row(
                 workload=workload,
-                mode=mode.value,
-                mean_us=latency.mean / 1000.0,
-                p50_us=latency.percentile(50) / 1000.0,
-                p99_us=latency.percentile(99) / 1000.0,
-                p99_reduction_pct=reduction if mode is PagingMode.HWDP else None,
+                mode=payload["mode"],
+                mean_us=payload["mean_ns"] / 1000.0,
+                p50_us=payload["p50_ns"] / 1000.0,
+                p99_us=payload["p99_ns"] / 1000.0,
+                p99_reduction_pct=reduction
+                if payload["mode"] == PagingMode.HWDP.value
+                else None,
             )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="tail-latency",
+        title=TITLE,
+        cells=_cells,
+        cell_fn=_cell,
+        merge=_merge,
+        aliases=("tail",),
+    )
+)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale)

@@ -5,25 +5,56 @@ sampling noise (EXPERIMENTS.md flags DBBench's 2-thread cell).  This
 experiment repeats key OSDP-vs-HWDP cells across independent seeds and
 reports mean ± stddev of the throughput gain, separating real shape from
 noise.
+
+One cell per (workload, seed, mode) triple — 30 cells at the defaults —
+so a parallel run covers every seed concurrently.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 from repro.config import PagingMode
+from repro.experiments.registry import Cell, ExperimentSpec, register
 from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 from repro.sim import StatAccumulator
 
 DEFAULT_SEEDS = (0xD5EED, 0xBEEF, 0xCAFE, 0xF00D, 0x5EED)
+DEFAULT_WORKLOADS = ("fio", "dbbench", "ycsb-c")
 
 
-def run(
-    scale: ExperimentScale = QUICK,
-    workloads: Sequence[str] = ("fio", "dbbench", "ycsb-c"),
+def _make_cells(
+    scale: ExperimentScale,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
     seeds: Sequence[int] = DEFAULT_SEEDS,
-) -> ExperimentResult:
+) -> List[Cell]:
+    return [
+        Cell.make(workload=workload, seed=seed, mode=mode.value)
+        for workload in workloads
+        for seed in seeds
+        for mode in (PagingMode.OSDP, PagingMode.HWDP)
+    ]
+
+
+def _cell(scale: ExperimentScale, params: Dict) -> Dict:
+    cell = run_kv_workload(
+        params["workload"],
+        PagingMode(params["mode"]),
+        scale,
+        threads=4,
+        seed=params["seed"],
+    )
+    return {
+        "workload": params["workload"],
+        "seed": params["seed"],
+        "mode": params["mode"],
+        "throughput": cell.throughput,
+    }
+
+
+def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
+    seeds = list(dict.fromkeys(p["seed"] for p in payloads))
     result = ExperimentResult(
         name="variance",
         title=f"throughput gain across {len(seeds)} seeds (4 threads, 2:1)",
@@ -33,21 +64,15 @@ def run(
             "noise around the Figure 13 shapes",
         },
     )
-    for workload in workloads:
+    throughput = {
+        (p["workload"], p["seed"], p["mode"]): p["throughput"] for p in payloads
+    }
+    for workload in dict.fromkeys(p["workload"] for p in payloads):
         gains = StatAccumulator(workload)
         for seed in seeds:
-            cells = {
-                mode: run_kv_workload(workload, mode, scale, threads=4, seed=seed)
-                for mode in (PagingMode.OSDP, PagingMode.HWDP)
-            }
-            gains.add(
-                100.0
-                * (
-                    cells[PagingMode.HWDP].throughput
-                    / cells[PagingMode.OSDP].throughput
-                    - 1.0
-                )
-            )
+            osdp = throughput[(workload, seed, PagingMode.OSDP.value)]
+            hwdp = throughput[(workload, seed, PagingMode.HWDP.value)]
+            gains.add(100.0 * (hwdp / osdp - 1.0))
         result.add_row(
             workload=workload,
             mean_gain_pct=gains.mean,
@@ -56,3 +81,24 @@ def run(
             max_pct=gains.max,
         )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="variance",
+        title="throughput gain across seeds (4 threads, 2:1)",
+        cells=_make_cells,
+        cell_fn=_cell,
+        merge=_merge,
+    )
+)
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
+    from repro.experiments.engine import run_spec
+
+    return run_spec(SPEC, scale, cells=_make_cells(scale, workloads, seeds))
