@@ -1,0 +1,34 @@
+"""Bench for the injected-fault resilience sweep (beyond the paper)."""
+
+
+def test_resilience(run_experiment):
+    result = run_experiment("resilience")
+    rows = {(row["mode"], row["error_rate"]): row for row in result.rows}
+
+    # Fault-free baselines are their own reference and saw no faults.
+    for mode in ("osdp", "hwdp"):
+        base = rows[(mode, 0.0)]
+        assert base["degradation_pct"] == 0.0
+        assert base["injected"] == 0
+        assert base["sigbus"] == 0
+
+    # Injected error counts scale with the rate within each mode.
+    for mode in ("osdp", "hwdp"):
+        assert rows[(mode, 0.05)]["injected"] < rows[(mode, 0.5)]["injected"]
+
+    # Throughput degrades monotonically-ish with the error rate; at the
+    # extreme rate both modes must still complete the run (no deadlock)
+    # with bounded degradation.
+    for mode in ("osdp", "hwdp"):
+        assert rows[(mode, 0.5)]["degradation_pct"] > rows[(mode, 0.05)]["degradation_pct"]
+        assert rows[(mode, 0.5)]["degradation_pct"] < 95.0
+
+    # The division of labour: the SMU retry path absorbs HWDP errors
+    # (falling back to the OS only when its budget is exhausted), while
+    # OSDP errors are always the kernel's problem.
+    assert rows[("hwdp", 0.05)]["smu_retries"] > 0
+    assert rows[("osdp", 0.5)]["smu_retries"] == 0
+    assert rows[("osdp", 0.5)]["os_retries"] > 0
+    # A moderate error rate never reaches the application on either path.
+    for mode in ("osdp", "hwdp"):
+        assert rows[(mode, 0.05)]["sigbus"] == 0

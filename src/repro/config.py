@@ -22,9 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> errors only)
+    from repro.faults.plan import FaultPlan
 
 #: Bytes per page — the paper targets 4 KB pages throughout.
 PAGE_SIZE = 4096
@@ -345,6 +348,10 @@ class SmuConfig:
     #: Depth of the memory-resident free-page queue (paper §VI-C uses 4096
     #: frames = 16 MB; experiments scale this with memory size).
     free_page_queue_depth: int = 4096
+    #: Submission-queue depth of each SMU-owned NVMe queue pair.  When the
+    #: queue is full the host controller applies backpressure (the issuing
+    #: miss waits for a slot) rather than failing the submission.
+    sq_depth: int = 1024
 
     # -- Figure 11(b) timings --------------------------------------------
     #: MMU→SMU request: two register writes.
@@ -396,6 +403,8 @@ class SmuConfig:
             raise ConfigError("free_page_queue_depth must be >= 1")
         if not 1 <= self.devices_per_smu <= 8:
             raise ConfigError("devices_per_smu must be in [1, 8] (3-bit device ID)")
+        if self.sq_depth < 1:
+            raise ConfigError("sq_depth must be >= 1")
 
     def before_device_ns(self, cpu: CpuConfig) -> float:
         """Hardware critical path from miss detection to SQ doorbell."""
@@ -474,6 +483,37 @@ class MemoryConfig:
 
 
 # ----------------------------------------------------------------------
+# Error-path policy (retry budgets and backoff)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How each paging path reacts to storage errors.
+
+    Both paths retry a failed page-in read a bounded number of times with
+    linear backoff before giving up.  The SMU's giving-up action is to
+    release the PMSHR entry unfilled and fail the miss back to the OS
+    fault handler — the same fallback route as a dry free-page queue
+    (§IV-D) — while the OS path delivers the failure to the faulting
+    thread as :class:`repro.errors.IoError` (the SIGBUS analogue).
+    """
+
+    #: Additional read attempts the SMU completion unit makes (0 = none).
+    smu_io_retries: int = 2
+    #: Linear backoff between SMU attempts: attempt ``k`` waits ``k`` times this.
+    smu_retry_backoff_ns: float = 500.0
+    #: Additional read attempts the OS fault handler makes.
+    os_io_retries: int = 2
+    #: Linear backoff between OS attempts.
+    os_retry_backoff_ns: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.smu_io_retries < 0 or self.os_io_retries < 0:
+            raise ConfigError("retry counts must be >= 0")
+        if self.smu_retry_backoff_ns < 0 or self.os_retry_backoff_ns < 0:
+            raise ConfigError("retry backoffs must be >= 0")
+
+
+# ----------------------------------------------------------------------
 # Top-level system configuration
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -493,6 +533,11 @@ class SystemConfig:
     swdp_costs: SwdpCosts = field(default_factory=SwdpCosts)
     smu: SmuConfig = field(default_factory=SmuConfig)
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Declarative fault plan; ``None`` (the default) builds no injector at
+    #: all, so fault-free runs are byte-identical to builds without the
+    #: faults package.
+    fault_plan: Optional["FaultPlan"] = None
     master_seed: int = 0xD5EED
     #: Per-access user-side overhead of the mmap engine (load issue, TLB
     #: handling, FIO bookkeeping) — present in both OSDP and HWDP.

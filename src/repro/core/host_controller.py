@@ -52,6 +52,9 @@ class SmuHostController:
         self._descriptors: List[Optional[QueueDescriptor]] = [None] * config.devices_per_smu
         self.commands_issued = 0
         self.completions_snooped = 0
+        #: Times an issuing miss found its SQ full and had to wait for a
+        #: completion to free a slot.
+        self.sq_backpressure_waits = 0
 
     # ------------------------------------------------------------------
     # control plane: the OS programs descriptor sets
@@ -61,7 +64,9 @@ class SmuHostController:
         descriptor set for it; returns the 3-bit device ID."""
         for device_id, slot in enumerate(self._descriptors):
             if slot is None:
-                qp = device.create_queue_pair(interrupt_enabled=False, owner="smu")
+                qp = device.create_queue_pair(
+                    depth=self.config.sq_depth, interrupt_enabled=False, owner="smu"
+                )
                 descriptor = QueueDescriptor(device_id, device, qp, nsid)
                 self._descriptors[device_id] = descriptor
                 spawn(self.sim, self._completion_unit(descriptor), f"smu-cqsnoop-{device_id}")
@@ -88,13 +93,34 @@ class SmuHostController:
         costs: 77.16 ns + 1.60 ns)."""
         return self.config.nvme_command_write_ns + self.config.doorbell_write_ns
 
-    def issue_read(self, device_id: int, lba: int, dma_addr: int, tag: int) -> None:
+    def await_sq_slot(self, thread, device_id: int):
+        """Backpressure: stall the issuing miss until the SQ has a slot.
+
+        A full submission queue is congestion, not a programming error —
+        the controller holds the doorbell write until a completion frees a
+        slot instead of overflowing the queue.  The slot is *reserved* on
+        return (several misses stall concurrently between admission and
+        doorbell), so the caller must issue with ``claimed=True``.
+        """
+        qp = self.descriptor(device_id).qp
+        while qp.occupied >= qp.depth:
+            self.sq_backpressure_waits += 1
+            yield from thread.mwait(qp.slot_freed)
+        qp.reserved += 1
+
+    def issue_read(
+        self, device_id: int, lba: int, dma_addr: int, tag: int, claimed: bool = False
+    ) -> None:
         """Issue a 4 KB read without a PRP list (§III-C).
 
         The caller (the page-miss handler pipeline) accounts the
         ``issue_latency_ns`` stall; this method performs the submission.
+        ``claimed`` converts a reservation taken by :meth:`await_sq_slot`
+        into the real outstanding slot.
         """
         descriptor = self.descriptor(device_id)
+        if claimed:
+            descriptor.qp.reserved -= 1
         command = NVMeCommand(
             NVMeOpcode.READ, nsid=descriptor.nsid, lba=lba, cid=tag, dma_addr=dma_addr
         )

@@ -98,10 +98,28 @@ class SequentialReadahead:
     def _prefetch_pipeline(self, entry, decoded, pfn: int, page_table):
         """Background hardware activity for one prefetch."""
         smu = self.smu
+        qp = smu.host.descriptor(decoded.device_id).qp
+        if qp.occupied >= qp.depth:
+            # Prefetches never queue behind a full SQ — demand misses own
+            # the backpressure path; a speculative read is simply dropped.
+            self.stats.add("dropped_sq_full")
+            smu.kernel.frame_pool.free(pfn)
+            smu.pmshr.release(entry, None)
+            return
+        qp.reserved += 1
         yield Delay(smu.host.issue_latency_ns)
         io_done = smu._register_io(entry)
-        smu.host.issue_read(decoded.device_id, decoded.lba, pfn, entry.index)
+        smu.host.issue_read(decoded.device_id, decoded.lba, pfn, entry.index, claimed=True)
         yield WaitSignal(io_done)
+        command = io_done.value
+        if command is not None and not command.ok:
+            # Speculative reads are never retried: return the frame and
+            # invalidate the entry so a later demand miss refetches.
+            self.stats.add("io_errors")
+            smu.kernel.counters.add("smu.prefetch_io_errors")
+            smu.kernel.frame_pool.free(pfn)
+            smu.pmshr.release(entry, None)
+            return
         yield Delay(
             smu.config.cpu.cycles_to_ns(
                 smu.config.smu.completion_unit_cycles + smu.config.smu.entry_update_cycles

@@ -75,6 +75,12 @@ class Smu:
         self.misses_failed = 0
         self.anon_zero_fills = 0
         self.io_timeouts = 0
+        #: NVMe error completions observed by the completion unit (each
+        #: retry that fails counts once).
+        self.io_errors = 0
+        #: Misses abandoned after the retry budget: the PMSHR entry is
+        #: released unfilled and the OS fault handler takes over.
+        self.io_error_failures = 0
         self.before_device_stat = StatAccumulator("smu-before-device")
         self.after_device_stat = StatAccumulator("smu-after-device")
 
@@ -123,7 +129,11 @@ class Smu:
             yield from thread.mwait(self.pmshr.slot_freed)
             retry = self.pmshr.lookup(walk.pte_addr)
             if retry is not None:
+                # Coalesced after the stall: same protocol as the primary
+                # coalesced path, including the notify-broadcast stall.
                 pfn = yield from thread.mwait(retry.completion)
+                if pfn is not None:
+                    yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
                 return pfn
 
         entry = self.pmshr.allocate(
@@ -167,19 +177,50 @@ class Smu:
                 return pop.pfn
 
             # Step 4-5: finalise the entry, build + submit the command.
+            # A full SQ applies backpressure (wait for a slot) rather than
+            # overflowing; an NVMe error completion is retried with linear
+            # backoff up to the resilience budget, after which the miss is
+            # failed back to the OS handler like a dry free-page queue.
             entry.pfn = pop.pfn
-            yield from thread.stall(self.host.issue_latency_ns)
-            self.before_device_stat.add(self.sim.now - started)
-            io_done = self._register_io(entry)
-            self.host.issue_read(decoded.device_id, decoded.lba, pop.pfn, entry.index)
-            self.readahead.observe_demand_miss(
-                walk, decoded, thread.process.page_table, thread.core.core_id
-            )
-
-            # Step 6: device I/O, completion snooped by the host controller.
-            # The prefetch buffer is eagerly re-warmed during the device time.
-            free_queue.prefetch_now()
-            yield from self._wait_for_io(thread, io_done)
+            resilience = self.config.resilience
+            command = None
+            for attempt in range(1 + resilience.smu_io_retries):
+                yield from self.host.await_sq_slot(thread, decoded.device_id)
+                yield from thread.stall(self.host.issue_latency_ns)
+                if attempt == 0:
+                    self.before_device_stat.add(self.sim.now - started)
+                io_done = self._register_io(entry)
+                self.host.issue_read(
+                    decoded.device_id, decoded.lba, pop.pfn, entry.index, claimed=True
+                )
+                if attempt == 0:
+                    self.readahead.observe_demand_miss(
+                        walk, decoded, thread.process.page_table, thread.core.core_id
+                    )
+                    # Step 6: device I/O, completion snooped by the host
+                    # controller.  The prefetch buffer is eagerly re-warmed
+                    # during the device time.
+                    free_queue.prefetch_now()
+                yield from self._wait_for_io(thread, io_done)
+                command = io_done.value
+                if command is None or command.ok:
+                    break
+                self.io_errors += 1
+                self.kernel.counters.add("smu.io_errors")
+                if attempt < resilience.smu_io_retries:
+                    self.kernel.counters.add("smu.io_retries")
+                    yield from thread.stall(
+                        resilience.smu_retry_backoff_ns * (attempt + 1)
+                    )
+            if command is not None and not command.ok:
+                # Retry budget exhausted: return the frame, invalidate the
+                # entry (waking coalesced walks with None), fail the miss.
+                self.misses_failed += 1
+                self.io_error_failures += 1
+                self.kernel.counters.add("smu.io_error_failures")
+                self.kernel.frame_pool.free(pop.pfn)
+                self.pmshr.release(entry, None)
+                return None
             after_start = self.sim.now
             yield from self._finish_update(thread, entry, pop.pfn)
             self.after_device_stat.add(self.sim.now - after_start)

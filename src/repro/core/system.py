@@ -61,6 +61,8 @@ class System:
     kpted: Optional[Kpted] = None
     kpoold: Optional[Kpoold] = None
     kswapd: Optional[Kswapd] = None
+    #: Present only when the config carries a fault plan.
+    fault_injector: Optional[Any] = None
     kthread_threads: List[ThreadContext] = field(default_factory=list)
     _kthread_processes: List[Process] = field(default_factory=list)
 
@@ -117,6 +119,17 @@ def build_system(config: SystemConfig, namespace_blocks: int = 1 << 24) -> Syste
     cpu_complex = CpuComplex(sim, config.cpu)
     device = NVMeDevice(sim, config.device, rng.stream("device"))
     kernel = Kernel(sim, config, cpu_complex, device, namespace_blocks)
+    if config.fault_plan is not None:
+        # Imported lazily so fault-free builds never touch the faults
+        # package; the injector draws from its own named stream, keeping
+        # device/workload RNG sequences identical with or without a plan.
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(config.fault_plan, rng.stream("fault-injector"))
+        device.fault_injector = injector
+        kernel.fault_injector = injector
+    else:
+        injector = None
     system = System(
         sim=sim,
         config=config,
@@ -124,6 +137,7 @@ def build_system(config: SystemConfig, namespace_blocks: int = 1 << 24) -> Syste
         cpu_complex=cpu_complex,
         device=device,
         kernel=kernel,
+        fault_injector=injector,
     )
 
     if config.mode is PagingMode.HWDP:

@@ -47,6 +47,19 @@ class SegmentationFault(KernelError):
     """An access hit no VMA — the OS would deliver SIGSEGV."""
 
 
+class IoError(KernelError):
+    """An unrecoverable storage error was delivered to the faulting thread.
+
+    Raised when every bounded retry of a page-in read (or an ``msync``
+    writeback) completed with an NVMe error status — the simulation
+    analogue of SIGBUS / ``msync`` returning ``EIO``.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A post-run invariant check found leaked or inconsistent state."""
+
+
 class SmuError(ReproError):
     """The storage management unit model reached an inconsistent state."""
 

@@ -30,6 +30,7 @@ from repro.experiments import fig17_sw_vs_hw
 from repro.experiments import area_overhead
 from repro.experiments import tail_latency
 from repro.experiments import variance
+from repro.experiments import resilience
 from repro.experiments import ablations
 from repro.experiments.registry import (
     Cell,
@@ -64,6 +65,7 @@ ALL_EXPERIMENTS = {
     "area": area_overhead.run,
     "tail": tail_latency.run,
     "variance": variance.run,
+    "resilience": resilience.run,
 }
 
 

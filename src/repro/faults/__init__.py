@@ -1,0 +1,27 @@
+"""Deterministic fault injection and post-run invariant checking.
+
+See :mod:`repro.faults.plan` for the declarative fault plans,
+:mod:`repro.faults.injector` for the seeded injector the system builder
+attaches to the device and kernel, and :mod:`repro.faults.invariants`
+for the quiescent-state checker run after injected-fault simulations.
+"""
+
+from repro.faults.injector import FaultDecision, FaultInjector
+from repro.faults.invariants import (
+    InvariantReport,
+    assert_invariants,
+    check_invariants,
+)
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule, read_error_plan
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "InvariantReport",
+    "assert_invariants",
+    "check_invariants",
+    "read_error_plan",
+]

@@ -1,0 +1,131 @@
+"""The deterministic fault injector.
+
+One injector per simulated machine, created by the system builder when the
+config carries a :class:`repro.faults.plan.FaultPlan`.  It owns:
+
+* its **own named RNG stream** (``rng.stream("fault-injector")``) — fault
+  decisions never consume randomness from the device-latency or workload
+  streams, so enabling injection does not perturb their sequences, and a
+  fixed ``(master_seed, plan)`` pair always yields the same injections;
+* the **per-rule injection counts** enforcing each rule's ``max_count``;
+* a :class:`repro.sim.Counter` tallying what was injected, which the
+  invariant checker and the resilience experiment cross-check against the
+  consumer-side error counters.
+
+When no plan is configured the injector simply does not exist (the device
+and kernel hooks hold ``None``), which is the zero-perturbation guarantee:
+fault-free runs execute byte-identically to a build without this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.sim import Counter
+
+#: FaultKind -> NVMe status name the device stamps on the completion
+#: (resolved lazily to avoid importing the storage layer from here).
+_STATUS_BY_KIND = {
+    FaultKind.READ_ERROR: "UNRECOVERED_READ",
+    FaultKind.WRITE_ERROR: "WRITE_FAULT",
+    FaultKind.TIMEOUT: "COMMAND_TIMEOUT",
+}
+
+
+class FaultDecision:
+    """One injection: the status to stamp and any extra completion delay."""
+
+    __slots__ = ("rule", "status_name", "extra_delay_ns")
+
+    def __init__(self, rule: FaultRule, status_name: str, extra_delay_ns: float):
+        self.rule = rule
+        self.status_name = status_name
+        self.extra_delay_ns = extra_delay_ns
+
+
+class FaultInjector:
+    """Evaluates a fault plan against storage commands and refill attempts."""
+
+    def __init__(self, plan: FaultPlan, rng: Any):
+        self.plan = plan
+        self.rng = rng
+        self.stats = Counter()
+        self._counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _exhausted(self, index: int, rule: FaultRule) -> bool:
+        return (
+            rule.max_count is not None
+            and self._counts.get(index, 0) >= rule.max_count
+        )
+
+    def _roll(self, rule: FaultRule) -> bool:
+        """Draw from the dedicated stream only when the rule is armed and
+        probabilistic — eligible events are visited in deterministic
+        simulation order, so the decision sequence is reproducible."""
+        if rule.probability >= 1.0:
+            return True
+        return bool(self.rng.random() < rule.probability)
+
+    def _record(self, index: int, rule: FaultRule) -> None:
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.stats.add(f"injected.{rule.kind.value}")
+        self.stats.add("injected.total")
+
+    # ------------------------------------------------------------------
+    # device side: called by NVMeDevice when a command finishes service
+    # ------------------------------------------------------------------
+    def decide(
+        self, device_name: str, command: Any, now_ns: float
+    ) -> Optional[FaultDecision]:
+        """First eligible command rule wins; None means complete normally."""
+        for index, rule in enumerate(self.plan.rules):
+            if rule.kind is FaultKind.QUEUE_STARVATION:
+                continue
+            if rule.kind is FaultKind.READ_ERROR and command.is_write:
+                continue
+            if rule.kind is FaultKind.WRITE_ERROR and not command.is_write:
+                continue
+            if not rule.applies_to_device(device_name):
+                continue
+            if not rule.covers_lba(command.lba):
+                continue
+            if not rule.in_window(now_ns):
+                continue
+            if self._exhausted(index, rule):
+                continue
+            if not self._roll(rule):
+                self.stats.add("declined.roll")
+                continue
+            self._record(index, rule)
+            extra = rule.timeout_ns if rule.kind is FaultKind.TIMEOUT else 0.0
+            return FaultDecision(rule, _STATUS_BY_KIND[rule.kind], extra)
+        return None
+
+    # ------------------------------------------------------------------
+    # kernel side: called by the free-page-queue refill routine
+    # ------------------------------------------------------------------
+    def starving(self, now_ns: float) -> bool:
+        """True when an armed starvation rule suppresses this refill."""
+        for index, rule in enumerate(self.plan.rules):
+            if rule.kind is not FaultKind.QUEUE_STARVATION:
+                continue
+            if not rule.in_window(now_ns):
+                continue
+            if self._exhausted(index, rule):
+                continue
+            if not self._roll(rule):
+                self.stats.add("declined.roll")
+                continue
+            self._record(index, rule)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def injected_total(self) -> int:
+        return int(self.stats.get("injected.total"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector {self.plan.name!r} injected={self.injected_total}>"

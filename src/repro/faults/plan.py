@@ -1,0 +1,142 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered tuple of :class:`FaultRule`\\ s, each
+describing *what* to inject (an NVMe read/write error status, a command
+timeout, or free-page-queue refill starvation) and *when* it is eligible
+(per device, per LBA range, per simulated-time window, with an optional
+probability and injection cap).  Plans are immutable and carry no runtime
+state — the :class:`repro.faults.injector.FaultInjector` owns the seeded
+RNG and the per-rule counters, so the same plan object can drive many
+independent simulations.
+
+Rules are evaluated in declaration order and the first eligible rule wins,
+which makes layered plans ("all reads on device X error out, but LBAs
+0-63 merely time out") easy to express and easy to reason about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class FaultKind(enum.Enum):
+    """What a rule injects."""
+
+    #: Read command completes with an unrecovered-read NVMe status.
+    READ_ERROR = "read-error"
+    #: Write command completes with a write-fault NVMe status.
+    WRITE_ERROR = "write-error"
+    #: Command is held ``timeout_ns`` beyond its service time, then
+    #: completes with a timeout status (the host's abort reaping it).
+    TIMEOUT = "timeout"
+    #: Kernel refills of the SMU free-page queue(s) are suppressed while
+    #: the rule's window is active, starving the hardware path into its
+    #: queue-empty fallback (§IV-D).
+    QUEUE_STARVATION = "queue-starvation"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger: a fault kind plus the conditions that arm it."""
+
+    kind: FaultKind
+    #: Device name the rule applies to (``None`` = every device).
+    device: Optional[str] = None
+    #: Half-open LBA window ``[lba_start, lba_end)``; ``lba_end=None``
+    #: means unbounded.
+    lba_start: int = 0
+    lba_end: Optional[int] = None
+    #: Half-open simulated-time window ``[start_ns, end_ns)``.
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+    #: Per-eligible-event injection probability (1.0 = always).
+    probability: float = 1.0
+    #: Total injections this rule may perform (``None`` = unbounded).
+    max_count: Optional[int] = None
+    #: Extra completion delay for :attr:`FaultKind.TIMEOUT` rules.
+    timeout_ns: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(f"fault probability {self.probability} not in [0, 1]")
+        if self.lba_start < 0:
+            raise ConfigError("lba_start must be >= 0")
+        if self.lba_end is not None and self.lba_end <= self.lba_start:
+            raise ConfigError("lba_end must exceed lba_start")
+        if self.end_ns is not None and self.end_ns <= self.start_ns:
+            raise ConfigError("end_ns must exceed start_ns")
+        if self.max_count is not None and self.max_count < 1:
+            raise ConfigError("max_count must be >= 1 (or None)")
+        if self.timeout_ns < 0:
+            raise ConfigError("timeout_ns must be >= 0")
+
+    # ------------------------------------------------------------------
+    def in_window(self, now_ns: float) -> bool:
+        if now_ns < self.start_ns:
+            return False
+        return self.end_ns is None or now_ns < self.end_ns
+
+    def covers_lba(self, lba: int) -> bool:
+        if lba < self.lba_start:
+            return False
+        return self.lba_end is None or lba < self.lba_end
+
+    def applies_to_device(self, device_name: str) -> bool:
+        return self.device is None or self.device == device_name
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable set of fault rules."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        # Tolerate list literals at construction time; store a tuple so the
+        # plan stays hashable (it rides inside the frozen SystemConfig).
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    @property
+    def command_rules(self) -> Tuple[FaultRule, ...]:
+        return tuple(
+            rule for rule in self.rules if rule.kind is not FaultKind.QUEUE_STARVATION
+        )
+
+    @property
+    def starvation_rules(self) -> Tuple[FaultRule, ...]:
+        return tuple(
+            rule for rule in self.rules if rule.kind is FaultKind.QUEUE_STARVATION
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly summary (for logs and experiment payloads)."""
+        return {
+            "name": self.name,
+            "rules": [
+                {
+                    "kind": rule.kind.value,
+                    "device": rule.device,
+                    "lba": [rule.lba_start, rule.lba_end],
+                    "window_ns": [rule.start_ns, rule.end_ns],
+                    "probability": rule.probability,
+                    "max_count": rule.max_count,
+                }
+                for rule in self.rules
+            ],
+        }
+
+
+def read_error_plan(
+    rate: float, device: Optional[str] = None, name: str = "read-errors"
+) -> FaultPlan:
+    """The common case: every read errors with probability ``rate``."""
+    return FaultPlan(
+        rules=(FaultRule(kind=FaultKind.READ_ERROR, device=device, probability=rate),),
+        name=name,
+    )

@@ -11,7 +11,7 @@ completions) and the write path used by the KV-store's WAL/flush traffic.
 from __future__ import annotations
 
 import itertools
-from typing import Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import KernelError
 from repro.sim import Completion, Simulator, spawn
@@ -31,20 +31,43 @@ class BlockIoStack:
         self._inflight: Dict[int, Completion] = {}
         self.reads_submitted = 0
         self.writes_submitted = 0
+        self.read_errors = 0
+        self.write_errors = 0
+        #: Invoked from the interrupt dispatcher when a *write* completes
+        #: with an error — the kernel hooks this to latch the failure
+        #: against the backing file (Linux's errseq_t / AS_EIO analogue).
+        self.on_write_error: Optional[Callable[[NVMeCommand], None]] = None
         spawn(sim, self._interrupt_dispatcher(), f"irq-{device.name}")
 
     # ------------------------------------------------------------------
-    def submit_read(self, nsid: int, lba: int, dma_addr: int = 0) -> Completion:
+    def submit_read(
+        self, nsid: int, lba: int, dma_addr: int = 0, context: Any = None
+    ) -> Completion:
         """Dispatch a 4 KB read; returns a completion that fires with the command."""
-        return self._submit(NVMeOpcode.READ, nsid, lba, dma_addr)
+        return self._submit(NVMeOpcode.READ, nsid, lba, dma_addr, context)
 
-    def submit_write(self, nsid: int, lba: int, dma_addr: int = 0) -> Completion:
-        """Dispatch a 4 KB write (WAL/flush/writeback traffic)."""
-        return self._submit(NVMeOpcode.WRITE, nsid, lba, dma_addr)
+    def submit_write(
+        self, nsid: int, lba: int, dma_addr: int = 0, context: Any = None
+    ) -> Completion:
+        """Dispatch a 4 KB write (WAL/flush/writeback traffic).
 
-    def _submit(self, opcode: NVMeOpcode, nsid: int, lba: int, dma_addr: int) -> Completion:
+        ``context`` names the object the write belongs to (the backing
+        file) so an error completion can be latched against it.
+        """
+        return self._submit(NVMeOpcode.WRITE, nsid, lba, dma_addr, context)
+
+    def _submit(
+        self,
+        opcode: NVMeOpcode,
+        nsid: int,
+        lba: int,
+        dma_addr: int,
+        context: Any = None,
+    ) -> Completion:
         cid = next(self._cid_counter)
-        command = NVMeCommand(opcode, nsid=nsid, lba=lba, cid=cid, dma_addr=dma_addr)
+        command = NVMeCommand(
+            opcode, nsid=nsid, lba=lba, cid=cid, dma_addr=dma_addr, context=context
+        )
         completion = Completion(self.sim, f"io-{cid}")
         self._inflight[cid] = completion
         self.device.submit(self.qp, command)
@@ -66,6 +89,13 @@ class BlockIoStack:
             completion = self._inflight.pop(command.cid, None)
             if completion is None:
                 raise KernelError(f"completion for unknown cid {command.cid}")
+            if not command.ok:
+                if command.is_write:
+                    self.write_errors += 1
+                    if self.on_write_error is not None:
+                        self.on_write_error(command)
+                else:
+                    self.read_errors += 1
             completion.fire(command)
 
     @property

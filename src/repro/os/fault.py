@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.config import PagingMode
-from repro.errors import SegmentationFault
+from repro.errors import IoError, SegmentationFault
 from repro.mem.address import PAGE_SHIFT
 from repro.sim import Completion
 from repro.vm.page_table import WalkResult
@@ -108,11 +108,20 @@ class PageFaultHandler:
             # page lock and return its frame.
             kernel.counters.add("fault.coalesced")
             pfn = yield from thread.block(pending)
+            if pfn is None:
+                # The leader's I/O failed terminally; every sleeper on the
+                # page lock gets the same SIGBUS.
+                kernel.counters.add("fault.coalesced_io_errors")
+                raise IoError(
+                    f"{thread.name}: coalesced fault at {vaddr:#x} failed "
+                    "with the leader's I/O error"
+                )
             yield from thread.kernel_phase(self.costs.pte_update_return_ns, "return")
             return pfn
 
         completion = Completion(self.sim, f"fault-{key[0]}-{key[1]:#x}")
         self._inflight[key] = completion
+        pfn = None
         try:
             decoded = decode_pte(thread.process.page_table.get_pte(vaddr))
             swap_lba = self._anon_swap_lba(vma, decoded)
@@ -123,8 +132,11 @@ class PageFaultHandler:
             else:
                 pfn = yield from self._minor_fault(thread, vaddr, vma)
         finally:
+            # Fire inside the finally so sleepers are woken (with None)
+            # even when the fault path raises — a hung page lock would
+            # deadlock every coalesced walker.
             del self._inflight[key]
-        completion.fire(pfn)
+            completion.fire(pfn)
         return pfn
 
     def _anon_swap_lba(self, vma: Any, decoded: Any):
@@ -185,21 +197,45 @@ class PageFaultHandler:
             kernel.counters.add("fault.anon_swapin")
 
         pfn = yield from kernel.alloc_frame(thread)
-        yield from thread.kernel_phase(costs.io_submit_ns, "io_submit")
-        io_done = kernel.blockio.submit_read(nsid, lba, dma_addr=pfn)
+        resilience = kernel.config.resilience
+        command = None
+        for attempt in range(1 + resilience.os_io_retries):
+            yield from thread.kernel_phase(costs.io_submit_ns, "io_submit")
+            io_done = kernel.blockio.submit_read(nsid, lba, dma_addr=pfn)
 
-        # The switch-out overlaps the device I/O (it happens after the
-        # doorbell), as does the fallback path's queue refill (§IV-D).
-        yield from thread.kernel_phase(costs.context_switch_out_ns, "context_switch_out")
-        if refill_queue:
-            kernel.counters.add("fault.sync_refill")
-            yield from kernel.refill_free_page_queue(
-                thread, reason="sync", core_id=thread.core.core_id
+            # The switch-out overlaps the device I/O (it happens after the
+            # doorbell), as does the fallback path's queue refill (§IV-D).
+            yield from thread.kernel_phase(
+                costs.context_switch_out_ns, "context_switch_out"
             )
-        yield from thread.block(io_done)
+            if refill_queue and attempt == 0:
+                kernel.counters.add("fault.sync_refill")
+                yield from kernel.refill_free_page_queue(
+                    thread, reason="sync", core_id=thread.core.core_id
+                )
+            command = yield from thread.block(io_done)
 
-        yield from thread.kernel_phase(costs.interrupt_delivery_ns, "interrupt_delivery")
-        yield from thread.kernel_phase(costs.io_completion_ns, "io_completion")
+            yield from thread.kernel_phase(
+                costs.interrupt_delivery_ns, "interrupt_delivery"
+            )
+            yield from thread.kernel_phase(costs.io_completion_ns, "io_completion")
+            if command is None or command.ok:
+                break
+            kernel.counters.add("fault.io_errors")
+            if attempt < resilience.os_io_retries:
+                kernel.counters.add("fault.io_retries")
+                yield from thread.kernel_phase(
+                    resilience.os_retry_backoff_ns * (attempt + 1), "io_retry_backoff"
+                )
+        if command is not None and not command.ok:
+            # Retry budget exhausted: free the frame and deliver the error
+            # to the faulting thread (SIGBUS / -EIO).
+            kernel.counters.add("fault.io_errors_delivered")
+            kernel.frame_pool.free(pfn)
+            raise IoError(
+                f"{thread.name}: read of LBA {lba} on nsid {nsid} failed after "
+                f"{1 + resilience.os_io_retries} attempts ({command.status.value})"
+            )
         yield from thread.kernel_phase(costs.context_switch_in_ns, "context_switch_in")
         yield from thread.kernel_phase(costs.metadata_update_ns, "metadata_update")
         kernel.install_resident_page(thread.process, vma, vaddr, pfn)
@@ -280,10 +316,34 @@ class PageFaultHandler:
                 kernel.config.smu.anon_zero_fill_ns, "emu_zero_fill"
             )
         else:
-            io_done = kernel.smu_blockio.submit_read(
-                kernel.nsid_for_vma(vma), decoded.lba, dma_addr=pop.pfn
-            )
-            yield from thread.mwait(io_done)
+            resilience = kernel.config.resilience
+            command = None
+            for attempt in range(1 + resilience.smu_io_retries):
+                io_done = kernel.smu_blockio.submit_read(
+                    kernel.nsid_for_vma(vma), decoded.lba, dma_addr=pop.pfn
+                )
+                command = yield from thread.mwait(io_done)
+                if command is None or command.ok:
+                    break
+                kernel.counters.add("fault.swdp_io_errors")
+                if attempt < resilience.smu_io_retries:
+                    # Re-driving the emulated submission costs another
+                    # software submit pass.
+                    yield from thread.kernel_phase(
+                        self.sw_costs.emu_submit_ns, "emu_retry"
+                    )
+            if command is not None and not command.ok:
+                # Same degradation as the hardware SMU: give the frame
+                # back, wake coalesced walks with None, fail over to the
+                # conventional OS path (which does its own retries and
+                # ultimately delivers IoError).
+                kernel.counters.add("fault.swdp_io_error_failures")
+                kernel.frame_pool.free(pop.pfn)
+                pmshr.release(entry, None)
+                pfn = yield from self._coalesced_os_fault(
+                    thread, vaddr, vma, refill_queue=False
+                )
+                return pfn
         yield from thread.kernel_phase(self.sw_costs.emu_complete_ns, "emu_complete")
         kernel.hw_install_page(thread.process, vma, vaddr, walk, pop.pfn)
         pmshr.release(entry, pop.pfn)

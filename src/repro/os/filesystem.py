@@ -38,6 +38,23 @@ class File:
     #: remaps know to update LBA-augmented PTEs.
     fastmap_marked: bool = False
     remaps: int = 0
+    #: Lifetime count of writeback errors against this file.
+    write_errors: int = 0
+    #: Latched until the next ``msync``/``fsync`` observes it — the model's
+    #: errseq_t: an async writeback failure is reported exactly once, at
+    #: the next synchronisation point.
+    pending_write_error: bool = False
+
+    def note_write_error(self) -> None:
+        """Record an async writeback failure against this file."""
+        self.write_errors += 1
+        self.pending_write_error = True
+
+    def consume_write_error(self) -> bool:
+        """Report-and-clear the latched error (errseq_t check semantics)."""
+        pending = self.pending_write_error
+        self.pending_write_error = False
+        return pending
 
     def lba_of_page(self, page_index: int) -> int:
         if not 0 <= page_index < self.num_pages:

@@ -20,7 +20,7 @@ from typing import Any, Generator, List, Optional
 
 from repro.config import PagingMode, SystemConfig
 from repro.cpu.core import CpuComplex
-from repro.errors import KernelError, OutOfMemoryError
+from repro.errors import IoError, KernelError, OutOfMemoryError
 from repro.mem.address import PAGE_SHIFT
 from repro.mem.physmem import FramePool
 from repro.os.blockio import BlockIoStack
@@ -134,6 +134,18 @@ class Kernel:
 
         #: The SMU (set by the system builder in HWDP mode).
         self.smu: Optional[Any] = None
+        #: Fault injector (set by the system builder when the config
+        #: carries a fault plan); consulted by the refill path for
+        #: queue-starvation injection.
+        self.fault_injector: Optional[Any] = None
+        # Async writeback failures are latched against the backing file
+        # (errseq_t-style) and reported at the next msync/fsync.
+        self.blockio.on_write_error = self._note_write_error
+
+    def _note_write_error(self, command: Any) -> None:
+        self.counters.add("writeback.errors")
+        if command.context is not None:
+            command.context.note_write_error()
 
     # ==================================================================
     # processes
@@ -198,7 +210,9 @@ class Kernel:
             # Writeback before drop (fire-and-forget; the device write
             # contends with reads, which is the behaviour that matters).
             lba = page.file.lba_of_page(page.file_page)
-            self.blockio.submit_write(page.file.nsid, lba, dma_addr=page.pfn)
+            self.blockio.submit_write(
+                page.file.nsid, lba, dma_addr=page.pfn, context=page.file
+            )
             self.counters.add("reclaim.writebacks")
             page.dirty = False
         if self.mode is not PagingMode.OSDP and page.vma.is_fastmap:
@@ -209,7 +223,9 @@ class Kernel:
                 # swap LBA so the SMU can fault it back in.
                 swap_page = self._alloc_swap_page()
                 lba = self.swap_file.lba_of_page(swap_page)
-                self.blockio.submit_write(self.swap_file.nsid, lba, dma_addr=page.pfn)
+                self.blockio.submit_write(
+                    self.swap_file.nsid, lba, dma_addr=page.pfn, context=self.swap_file
+                )
                 self.counters.add("reclaim.anon_swapped")
             table.set_pte(page.vaddr, evict_to_lba(current.raw, lba))
             self.counters.add("reclaim.lba_augmented")
@@ -221,6 +237,7 @@ class Kernel:
                 self.swap_file.nsid,
                 self.swap_file.lba_of_page(swap_page),
                 dma_addr=page.pfn,
+                context=self.swap_file,
             )
             table.set_pte(page.vaddr, make_swap_pte(swap_page + 1))
             self.counters.add("reclaim.anon_swapped")
@@ -390,6 +407,13 @@ class Kernel:
         queue under the §V per-core extension; kpoold passes None and
         services every queue.
         """
+        if self.fault_injector is not None and self.fault_injector.starving(
+            self.sim.now
+        ):
+            # Injected queue starvation: the refill silently does nothing,
+            # driving the hardware path into its queue-empty fallback.
+            self.counters.add("refill.starved")
+            return 0
         if core_id is not None and self.per_core_queues is not None:
             queues = [self.free_queue_for(core_id)]
         else:
@@ -554,6 +578,14 @@ class Kernel:
         """``msync()``/``fsync()``: synchronise deferred metadata first (§IV-C)."""
         yield from thread.kernel_phase(_SYSCALL_BASE_NS, "msync")
         synced = yield from self._sync_vma(thread, vma)
+        if vma.file is not None and vma.file.consume_write_error():
+            # A writeback of this file failed since the last sync point;
+            # report it exactly once (Linux errseq_t semantics).
+            self.counters.add("msync.io_errors")
+            raise IoError(
+                f"{thread.name}: msync of {vma.file.name!r} reports an "
+                "earlier writeback error (EIO)"
+            )
         return synced
 
     def _sync_vma(self, thread: Any, vma: Vma) -> Generator[Any, Any, int]:
@@ -631,7 +663,7 @@ class Kernel:
             # Bounded write buffer: wait for the oldest write to land.
             yield from thread.stall(self.config.device.write_latency_ns / 4)
         lba = file.lba_of_page(page_index % file.num_pages)
-        self.blockio.submit_write(file.nsid, lba)
+        self.blockio.submit_write(file.nsid, lba, context=file)
         self.counters.add("write.submitted")
 
     # ==================================================================

@@ -23,17 +23,29 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.config import BLOCKS_PER_PAGE, DeviceConfig
 from repro.errors import StorageError
-from repro.sim import FifoChannel, Server, Simulator, StatAccumulator, spawn
+from repro.sim import Delay, FifoChannel, Server, Signal, Simulator, StatAccumulator, spawn
 from repro.storage.latency import DeviceLatencyModel
 
 
 class NVMeOpcode(enum.Enum):
     READ = "read"
     WRITE = "write"
+
+
+class NVMeStatus(enum.Enum):
+    """Completion status (the subset of NVMe status codes the model needs)."""
+
+    SUCCESS = "success"
+    #: Media error on a read (NVMe 02h/81h Unrecovered Read Error).
+    UNRECOVERED_READ = "unrecovered-read"
+    #: Media error on a write (NVMe 02h/80h Write Fault).
+    WRITE_FAULT = "write-fault"
+    #: The host's command timeout fired and the abort reaped the command.
+    COMMAND_TIMEOUT = "command-timeout"
 
 
 @dataclass
@@ -81,10 +93,21 @@ class NVMeCommand:
     dma_addr: int = 0
     submit_time_ns: float = 0.0
     complete_time_ns: float = 0.0
+    #: Completion status stamped by the device (fault injection can make
+    #: this a failure; consumers must check :attr:`ok`).
+    status: NVMeStatus = NVMeStatus.SUCCESS
+    #: Opaque submitter cookie carried through completion — the writeback
+    #: path stores the backing :class:`repro.os.filesystem.File` here so
+    #: the interrupt handler can latch write errors against it.
+    context: Any = None
 
     @property
     def is_write(self) -> bool:
         return self.opcode is NVMeOpcode.WRITE
+
+    @property
+    def ok(self) -> bool:
+        return self.status is NVMeStatus.SUCCESS
 
     @property
     def device_time_ns(self) -> float:
@@ -113,6 +136,9 @@ class QueuePair:
         self.interrupt_enabled = interrupt_enabled
         self.owner = owner
         self.outstanding = 0
+        #: Slots claimed by issuers that have passed admission but not yet
+        #: submitted (the SMU host controller's backpressure reservation).
+        self.reserved = 0
         self.submitted = 0
         self.completed = 0
         #: Completed commands, in completion order.  A FIFO (rather than a
@@ -120,6 +146,14 @@ class QueuePair:
         #: commands finish at the same instant; the consumer is the kernel's
         #: interrupt handler or the SMU's completion unit.
         self.cq = FifoChannel(sim, name=f"qp{qid}-cq")
+        #: Fired whenever a command completes and its SQ slot frees up —
+        #: submitters blocked on a full queue wait here (backpressure).
+        self.slot_freed = Signal(sim, name=f"qp{qid}-slot-freed")
+
+    @property
+    def occupied(self) -> int:
+        """Slots in use or spoken for (outstanding commands + reservations)."""
+        return self.outstanding + self.reserved
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<QueuePair {self.qid} owner={self.owner} outstanding={self.outstanding}>"
@@ -138,9 +172,15 @@ class NVMeDevice:
         self._qid_counter = itertools.count(1)
         self.queue_pairs: Dict[int, QueuePair] = {}
         self.namespaces: Dict[int, Namespace] = {}
+        #: Set by the system builder when the config carries a fault plan;
+        #: ``None`` means every command completes successfully.
+        self.fault_injector: Optional[Any] = None
         # -- statistics ---------------------------------------------------
         self.reads_completed = 0
         self.writes_completed = 0
+        self.read_errors = 0
+        self.write_errors = 0
+        self.timeouts = 0
         self.read_device_time = StatAccumulator("read-device-time")
         self.write_device_time = StatAccumulator("write-device-time", keep_samples=False)
 
@@ -200,10 +240,28 @@ class NVMeDevice:
 
     def _execute(self, qp: QueuePair, command: NVMeCommand):
         yield from self._server.service(lambda: self._service_time(command))
+        if self.fault_injector is not None:
+            decision = self.fault_injector.decide(self.name, command, self.sim.now)
+            if decision is not None:
+                if decision.extra_delay_ns > 0.0:
+                    # A timed-out command holds its slot until the host's
+                    # abort reaps it.
+                    yield Delay(decision.extra_delay_ns)
+                command.status = NVMeStatus[decision.status_name]
         command.complete_time_ns = self.sim.now
         qp.outstanding -= 1
         qp.completed += 1
-        if command.is_write:
+        qp.slot_freed.fire(qp)
+        if not command.ok:
+            # Failed commands are tallied separately and excluded from the
+            # device-time statistics (they would skew the latency tables).
+            if command.status is NVMeStatus.COMMAND_TIMEOUT:
+                self.timeouts += 1
+            elif command.is_write:
+                self.write_errors += 1
+            else:
+                self.read_errors += 1
+        elif command.is_write:
             self.writes_completed += 1
             self.write_device_time.add(command.device_time_ns)
         else:

@@ -2,15 +2,19 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import (
     ControlPlaneConfig,
     CpuConfig,
     DeviceConfig,
     MemoryConfig,
     PagingMode,
+    ResilienceConfig,
     SmuConfig,
     SystemConfig,
 )
+from repro.faults import FaultPlan
 from repro.core.system import System, build_system
 from repro.mem.address import PAGE_SHIFT
 from repro.os.vma import MmapFlags
@@ -26,6 +30,9 @@ def tiny_config(
     kpoold_enabled: bool = True,
     pmshr_entries: int = 32,
     kswapd_enabled: bool = True,
+    sq_depth: int = 1024,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SystemConfig:
     """A small, deterministic machine for unit/integration tests."""
     return SystemConfig(
@@ -39,13 +46,19 @@ def tiny_config(
             latency_sigma=0.0,
         ),
         memory=MemoryConfig(total_frames=total_frames),
-        smu=SmuConfig(free_page_queue_depth=free_queue_depth, pmshr_entries=pmshr_entries),
+        smu=SmuConfig(
+            free_page_queue_depth=free_queue_depth,
+            pmshr_entries=pmshr_entries,
+            sq_depth=sq_depth,
+        ),
         control_plane=ControlPlaneConfig(
             kpted_period_ns=kpted_period_ns,
             kpoold_period_ns=kpoold_period_ns,
             kpoold_enabled=kpoold_enabled,
             kswapd_enabled=kswapd_enabled,
         ),
+        resilience=resilience if resilience is not None else ResilienceConfig(),
+        fault_plan=fault_plan,
     )
 
 

@@ -66,7 +66,7 @@ class TestScales:
         expected = {
             "fig01", "fig02", "fig03", "fig04", "table1", "fig11", "fig12",
             "fig13", "fig14", "fig15", "fig16", "fig17", "area", "tail",
-            "variance",
+            "variance", "resilience",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
