@@ -126,12 +126,25 @@ class SmuHostController:
         )
         descriptor.device.submit(descriptor.qp, command)
         self.commands_issued += 1
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant(
+                "smu_host.sq_doorbell", device_id=device_id, lba=lba, cid=tag
+            )
 
     def _completion_unit(self, descriptor: QueueDescriptor):
         """Snoop CQ memory writes and percolate completions upward."""
         while True:
             command = yield from descriptor.qp.cq.get()
             self.completions_snooped += 1
+            sink = self.sim.trace
+            if sink is not None:
+                sink.instant(
+                    "smu_host.cq_snoop",
+                    device_id=descriptor.device_id,
+                    cid=command.cid,
+                    status=command.status.value,
+                )
             # CQ protocol (pointer, phase, CQ doorbell) costs are charged in
             # the page-miss handler's after-device accounting.
             self._on_completion(command)

@@ -108,6 +108,15 @@ class Pmshr:
         )
         self._by_pte_addr[pte_addr] = entry
         self.stats.add("allocated")
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant(
+                "pmshr.allocate",
+                index=index,
+                pte_addr=f"{pte_addr:#x}",
+                lba=lba,
+                outstanding=len(self._by_pte_addr),
+            )
         return entry
 
     def release(self, entry: PmshrEntry, pfn: Optional[int]) -> None:
@@ -116,6 +125,15 @@ class Pmshr:
         if stored is not entry:
             raise SmuError(f"PMSHR release of unknown entry {entry.pte_addr:#x}")
         self._free_indices.append(entry.index)
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant(
+                "pmshr.release",
+                index=entry.index,
+                pte_addr=f"{entry.pte_addr:#x}",
+                pfn=pfn,
+                outstanding=len(self._by_pte_addr),
+            )
         entry.completion.fire(pfn)
         self.stats.add("released")
         self.slot_freed.fire()

@@ -35,6 +35,7 @@ from repro.core.page_table_updater import PageTableUpdater
 from repro.core.pmshr import Pmshr
 from repro.core.prefetcher import SequentialReadahead
 from repro.errors import SmuError
+from repro.obs import trace as obs
 from repro.sim import (
     Completion,
     Signal,
@@ -101,6 +102,37 @@ class Smu:
         Runs in the faulting thread's coroutine: every ``yield`` is a
         pipeline stall of that core, never kernel work.
         """
+        sink = self.sim.trace
+        if sink is None:
+            pfn = yield from self._handle_miss(walk, decoded, thread, None)
+            return pfn
+        span = sink.begin_span(
+            thread.name,
+            obs.PATH_HWDP,
+            smu=self.socket_id,
+            pte_addr=f"{walk.pte_addr:#x}",
+            lba=decoded.lba,
+        )
+        previous_span = thread.active_span
+        thread.active_span = span
+        try:
+            pfn = yield from self._handle_miss(walk, decoded, thread, span)
+        except BaseException as exc:
+            sink.end_span(span, obs.FAILED, error=type(exc).__name__)
+            raise
+        finally:
+            thread.active_span = previous_span
+        if pfn is None:
+            # Failed back to the MMU: the OS fault handler opens its own
+            # hwdp-fallback span when the exception is taken.
+            sink.end_span(span, obs.FAILED)
+        else:
+            sink.end_span(span, span.outcome or obs.COMPLETED, pfn=pfn)
+        return pfn
+
+    def _handle_miss(
+        self, walk: WalkResult, decoded: Any, thread: Any, span: Any
+    ) -> Generator[Any, Any, Optional[int]]:
         smu_config = self.config.smu
         if decoded.socket_id != self.socket_id:
             raise SmuError(
@@ -109,15 +141,24 @@ class Smu:
             )
 
         # Step 1-2: request registers + CAM lookup.
+        if span is not None:
+            segment_start = self.sim.now
         yield from thread.stall(
             self._cycles_ns(
                 smu_config.request_reg_write_cycles + smu_config.cam_lookup_cycles
             )
         )
+        if span is not None:
+            span.event(segment_start, "request_cam_lookup", self.sim.now - segment_start)
         existing = self.pmshr.lookup(walk.pte_addr)
         if existing is not None:
             # Coalesced: the page-table walk goes pending until broadcast.
+            if span is not None:
+                span.outcome = obs.COALESCED
+                segment_start = self.sim.now
             pfn = yield from thread.mwait(existing.completion)
+            if span is not None:
+                span.event(segment_start, "coalesced_wait", self.sim.now - segment_start)
             if pfn is not None:
                 yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
             return pfn
@@ -126,16 +167,29 @@ class Smu:
         # the walk stalls until an entry frees.
         while self.pmshr.is_full:
             self.pmshr.stats.add("full")
+            if span is not None:
+                segment_start = self.sim.now
             yield from thread.mwait(self.pmshr.slot_freed)
+            if span is not None:
+                span.event(segment_start, "pmshr_full_wait", self.sim.now - segment_start)
             retry = self.pmshr.lookup(walk.pte_addr)
             if retry is not None:
                 # Coalesced after the stall: same protocol as the primary
                 # coalesced path, including the notify-broadcast stall.
+                if span is not None:
+                    span.outcome = obs.COALESCED
+                    segment_start = self.sim.now
                 pfn = yield from thread.mwait(retry.completion)
+                if span is not None:
+                    span.event(
+                        segment_start, "coalesced_wait", self.sim.now - segment_start
+                    )
                 if pfn is not None:
                     yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
                 return pfn
 
+        if span is not None:
+            span.event(self.sim.now, "pmshr_allocate")
         entry = self.pmshr.allocate(
             walk.pte_addr,
             walk.pmd_entry_addr,
@@ -157,16 +211,28 @@ class Smu:
                 self.misses_failed += 1
                 self.kernel.counters.add("smu.queue_empty_failures")
                 self.pmshr.release(entry, None)
+                if span is not None:
+                    span.attrs["reason"] = "queue_empty"
                 return None
+            if span is not None:
+                segment_start = self.sim.now
             if not pop.from_prefetch:
                 yield from thread.stall(smu_config.free_page_fetch_ns)
+            if span is not None:
+                span.event(segment_start, "free_page_fetch", self.sim.now - segment_start)
 
             # §V anonymous-page extension: the reserved LBA constant means
             # "first touch" — bypass I/O, hand back a zero-filled frame.
             if decoded.lba == ANON_FIRST_TOUCH_LBA:
                 entry.pfn = pop.pfn
                 self.before_device_stat.add(self.sim.now - started)
+                if span is not None:
+                    segment_start = self.sim.now
                 yield from thread.stall(smu_config.anon_zero_fill_ns)
+                if span is not None:
+                    span.event(
+                        segment_start, "anon_zero_fill", self.sim.now - segment_start
+                    )
                 after_start = self.sim.now
                 yield from self._finish_update(thread, entry, pop.pfn)
                 self.after_device_stat.add(self.sim.now - after_start)
@@ -185,6 +251,8 @@ class Smu:
             resilience = self.config.resilience
             command = None
             for attempt in range(1 + resilience.smu_io_retries):
+                if span is not None:
+                    segment_start = self.sim.now
                 yield from self.host.await_sq_slot(thread, decoded.device_id)
                 yield from thread.stall(self.host.issue_latency_ns)
                 if attempt == 0:
@@ -193,6 +261,8 @@ class Smu:
                 self.host.issue_read(
                     decoded.device_id, decoded.lba, pop.pfn, entry.index, claimed=True
                 )
+                if span is not None:
+                    span.event(segment_start, "sq_submit", self.sim.now - segment_start)
                 if attempt == 0:
                     self.readahead.observe_demand_miss(
                         walk, decoded, thread.process.page_table, thread.core.core_id
@@ -201,7 +271,11 @@ class Smu:
                     # controller.  The prefetch buffer is eagerly re-warmed
                     # during the device time.
                     free_queue.prefetch_now()
+                if span is not None:
+                    segment_start = self.sim.now
                 yield from self._wait_for_io(thread, io_done)
+                if span is not None:
+                    span.event(segment_start, "nvme_service", self.sim.now - segment_start)
                 command = io_done.value
                 if command is None or command.ok:
                     break
@@ -209,9 +283,15 @@ class Smu:
                 self.kernel.counters.add("smu.io_errors")
                 if attempt < resilience.smu_io_retries:
                     self.kernel.counters.add("smu.io_retries")
+                    if span is not None:
+                        segment_start = self.sim.now
                     yield from thread.stall(
                         resilience.smu_retry_backoff_ns * (attempt + 1)
                     )
+                    if span is not None:
+                        span.event(
+                            segment_start, "io_retry_backoff", self.sim.now - segment_start
+                        )
             if command is not None and not command.ok:
                 # Retry budget exhausted: return the frame, invalidate the
                 # entry (waking coalesced walks with None), fail the miss.
@@ -220,6 +300,8 @@ class Smu:
                 self.kernel.counters.add("smu.io_error_failures")
                 self.kernel.frame_pool.free(pop.pfn)
                 self.pmshr.release(entry, None)
+                if span is not None:
+                    span.attrs["reason"] = "io_error"
                 return None
             after_start = self.sim.now
             yield from self._finish_update(thread, entry, pop.pfn)
@@ -240,6 +322,9 @@ class Smu:
         """Steps 6-8 after the data is in memory: completion protocol,
         PTE/PMD/PUD write-back (LBA bit stays set for kpted), broadcast."""
         smu_config = self.config.smu
+        span = thread.active_span
+        if span is not None:
+            segment_start = self.sim.now
         yield from thread.stall(
             self._cycles_ns(
                 smu_config.completion_unit_cycles + smu_config.entry_update_cycles
@@ -254,7 +339,13 @@ class Smu:
             pfn,
         )
         self.kernel.counters.add("install.hw_pending")
+        if span is not None:
+            span.event(segment_start, "completion_snoop", self.sim.now - segment_start)
+            span.event(self.sim.now, "page_table_update")
+            segment_start = self.sim.now
         yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
+        if span is not None:
+            span.event(segment_start, "notify_broadcast", self.sim.now - segment_start)
 
     def _wait_for_io(self, thread: Any, io_done: Completion):
         """Wait for the device, optionally bounded by the §V I/O timeout.

@@ -37,6 +37,8 @@ from repro.core.smu import Smu, SmuComplex
 from repro.cpu.core import CpuComplex
 from repro.cpu.thread import ThreadContext
 from repro.errors import ConfigError, SimulationError
+from repro.obs.metrics import system_metrics
+from repro.obs.runtime import observe_system
 from repro.os.kernel import Kernel
 from repro.os.kthreads import Kpoold, Kpted, Kswapd
 from repro.os.process import ProcessContext
@@ -63,6 +65,9 @@ class System:
     kswapd: Optional[Kswapd] = None
     #: Present only when the config carries a fault plan.
     fault_injector: Optional[Any] = None
+    #: Unified metrics registry over every component's counters (see
+    #: :mod:`repro.obs.metrics`); populated by :func:`build_system`.
+    metrics: Optional[Any] = None
     kthread_threads: List[ThreadContext] = field(default_factory=list)
     _kthread_processes: List[Process] = field(default_factory=list)
 
@@ -160,6 +165,10 @@ def build_system(config: SystemConfig, namespace_blocks: int = 1 << 24) -> Syste
     if config.mode is not PagingMode.OSDP:
         _boot_free_page_queue(kernel)
     _start_kernel_daemons(system)
+    system.metrics = system_metrics(system)
+    # Attach any process-global observation (the experiments CLI's
+    # --trace/--metrics); a single no-op check when none is active.
+    observe_system(system)
     return system
 
 

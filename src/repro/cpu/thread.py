@@ -63,6 +63,10 @@ class ThreadContext:
         #: ``(sim_time_ns, phase_name, duration_ns)`` — the raw material
         #: for measured fault-path breakdowns (see repro.analysis.phases).
         self.phase_trace = None
+        #: Open miss-lifecycle span this thread is currently inside (see
+        #: :mod:`repro.obs.trace`); kernel phases charged while it is set
+        #: land in the span as typed events.
+        self.active_span = None
         core.bind(self)
         self.finished = False
 
@@ -122,6 +126,8 @@ class ThreadContext:
             return
         if self.phase_trace is not None:
             self.phase_trace.append((self.sim.now, name, ns))
+        if self.active_span is not None:
+            self.active_span.event(self.sim.now, name, ns)
         self.core.state = CoreState.KERNEL
         yield Delay(ns)
         instructions = self.cpu.kernel_ns_to_instructions(ns)

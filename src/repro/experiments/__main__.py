@@ -89,6 +89,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every cell, bypassing benchmarks/.cache/",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record every page miss's lifecycle and write a Perfetto-"
+        "loadable Chrome-trace JSON to PATH (forces serial in-process "
+        "execution; result tables are byte-identical to an untraced run)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the unified per-cell metrics snapshots (one dotted-name "
+        "JSON object per experiment cell) to PATH (forces serial "
+        "in-process execution)",
+    )
     return parser
 
 
@@ -127,6 +141,23 @@ def main(argv=None) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    observation = None
+    if args.trace or args.metrics:
+        from repro.obs.runtime import Observation
+        from repro.obs.trace import TraceSink
+
+        if args.jobs > 1:
+            print(
+                "[observability: --trace/--metrics force --jobs 1 "
+                "(cells must run in-process to be observed)]",
+                file=sys.stderr,
+            )
+            args.jobs = 1
+        observation = Observation(
+            trace=TraceSink() if args.trace else None,
+            metrics=bool(args.metrics),
+        )
+
     pool = None
     if args.jobs > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -137,7 +168,14 @@ def main(argv=None) -> int:
         for spec in specs:
             started = time.time()
             try:
-                report = execute([spec], scale, jobs=args.jobs, cache=cache, executor=pool)
+                report = execute(
+                    [spec],
+                    scale,
+                    jobs=args.jobs,
+                    cache=cache,
+                    executor=pool,
+                    observation=observation,
+                )
             except Exception:
                 print(f"[{spec.name} FAILED]", file=sys.stderr)
                 traceback.print_exc()
@@ -156,7 +194,40 @@ def main(argv=None) -> int:
     finally:
         if pool is not None:
             pool.shutdown()
+
+    if observation is not None:
+        _write_observation(observation, args)
     return status
+
+
+def _write_observation(observation, args) -> None:
+    """Export the recorded trace/metrics and print the span breakdown."""
+    import json
+
+    if args.trace and observation.trace is not None:
+        from repro.obs.export import breakdown_report, write_chrome_trace
+
+        sink = observation.trace
+        write_chrome_trace(sink, args.trace)
+        print(
+            f"[trace: {sink.span_count()} miss spans, "
+            f"{len(sink.instants)} instants across {len(sink.units)} cells "
+            f"-> {args.trace}]",
+            file=sys.stderr,
+        )
+        print(breakdown_report(sink), file=sys.stderr)
+    if args.metrics:
+        snapshots = [
+            {"unit": unit, "metrics": reg.collect()}
+            for unit, reg in observation.registries
+        ]
+        with open(args.metrics, "w") as handle:
+            json.dump({"cells": snapshots}, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"[metrics: {len(snapshots)} cell snapshots -> {args.metrics}]",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":

@@ -116,6 +116,15 @@ def compute_cell(spec_name: str, scale_dict: Dict[str, Any], params: Params) -> 
     return _canonical(spec.cell_fn(scale, dict(params)))
 
 
+def _unit_label(spec: ExperimentSpec, cell: Cell) -> str:
+    """Trace/metrics unit label for one cell: ``experiment[k=v,...]``."""
+    params = cell.as_dict()
+    if not params:
+        return spec.name
+    inner = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    return f"{spec.name}[{inner}]"
+
+
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
@@ -140,6 +149,7 @@ def execute(
     cache: Optional[CellCache] = None,
     executor: Optional[Executor] = None,
     cells_override: Optional[Sequence[Cell]] = None,
+    observation: Optional[Any] = None,
 ) -> ExecutionReport:
     """Run ``specs`` and return merged results in the order given.
 
@@ -147,10 +157,19 @@ def execute(
     (or the caller's ``executor``).  ``cells_override`` replaces the cell
     grid — only valid when running a single spec (the back-compat shims
     use it for parameterised ``run(...)`` calls).
+
+    ``observation`` (a :class:`repro.obs.runtime.Observation`) records the
+    run: every cell is computed serially in-process so its simulator is
+    observable (cache *reads* are bypassed — a cached payload emits no
+    spans — and parallelism is ignored), and each cell labels its spans
+    and metrics with ``<experiment>/<cell-params>``.  Cache keys and the
+    payloads written back are untouched: recording never perturbs the
+    simulation, so a traced payload is byte-identical to an untraced one.
     """
     resolved = [get_spec(s) if isinstance(s, str) else s for s in specs]
     if cells_override is not None and len(resolved) != 1:
         raise ValueError("cells_override requires exactly one spec")
+    observing = observation is not None
 
     report = ExecutionReport()
     plans: List[List[Cell]] = []
@@ -161,7 +180,11 @@ def execute(
         plans.append(cells)
         for cell_index, cell in enumerate(cells):
             key = cell_key(spec, scale, cell) if cache is not None else None
-            hit = cache.get(spec.name, key) if cache is not None else None
+            hit = (
+                cache.get(spec.name, key)
+                if cache is not None and not observing
+                else None
+            )
             if hit is not None:
                 payloads[(spec_index, cell_index)] = hit
                 report.cached += 1
@@ -177,7 +200,19 @@ def execute(
         if cache is not None and key is not None:
             cache.put(spec.name, key, cell.as_dict(), payload)
 
-    if pending and (jobs > 1 or executor is not None) and len(pending) > 1:
+    if observing:
+        from repro.obs import runtime as obs_runtime
+
+        obs_runtime.activate(observation)
+        try:
+            for slot in pending:
+                spec, cell = slot[2], slot[3]
+                observation.set_unit(_unit_label(spec, cell))
+                _finish(slot, _canonical(spec.cell_fn(scale, cell.as_dict())))
+        finally:
+            observation.set_unit(None)
+            obs_runtime.deactivate()
+    elif pending and (jobs > 1 or executor is not None) and len(pending) > 1:
         pool = executor
         owned = pool is None
         if owned:
@@ -213,10 +248,17 @@ def run_spec(
     cache: Optional[CellCache] = None,
     executor: Optional[Executor] = None,
     cells: Optional[Sequence[Cell]] = None,
+    observation: Optional[Any] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its merged result."""
     return execute(
-        [spec], scale, jobs=jobs, cache=cache, executor=executor, cells_override=cells
+        [spec],
+        scale,
+        jobs=jobs,
+        cache=cache,
+        executor=executor,
+        cells_override=cells,
+        observation=observation,
     ).results[0]
 
 
@@ -227,6 +269,9 @@ def run_specs(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     executor: Optional[Executor] = None,
+    observation: Optional[Any] = None,
 ) -> List[ExperimentResult]:
     """Run several experiments; results follow the requested order."""
-    return execute(specs, scale, jobs=jobs, cache=cache, executor=executor).results
+    return execute(
+        specs, scale, jobs=jobs, cache=cache, executor=executor, observation=observation
+    ).results

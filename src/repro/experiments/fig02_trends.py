@@ -51,7 +51,7 @@ def _cell(scale: ExperimentScale, params: Dict) -> Dict:
     for year, cpu_ns, dram_ns, disk_us, ssd_us in TREND_SERIES:
         rows.append(
             {
-                "year": year,
+                "year": str(year),  # a label, not a quantity — no separator
                 "cpu_cycle_ns": cpu_ns,
                 "dram_ns": dram_ns,
                 "disk_us": disk_us,

@@ -262,6 +262,10 @@ def _fmt(value: Any) -> str:
         if abs(value) >= 1000:
             return f"{value:,.0f}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int) and not isinstance(value, bool) and abs(value) >= 1000:
+        # Counter tallies are ints; large ones keep the same thousands-
+        # separated rendering they had as floats.
+        return f"{value:,d}"
     return str(value)
 
 

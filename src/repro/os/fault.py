@@ -31,6 +31,7 @@ from typing import Any, Dict, Generator, Optional, Tuple
 from repro.config import PagingMode
 from repro.errors import IoError, SegmentationFault
 from repro.mem.address import PAGE_SHIFT
+from repro.obs import trace as obs
 from repro.sim import Completion
 from repro.vm.page_table import WalkResult
 from repro.vm.pte import ANON_FIRST_TOUCH_LBA, PteStatus, decode_pte
@@ -61,6 +62,35 @@ class PageFaultHandler:
     def handle(
         self, thread: Any, vaddr: int, walk: WalkResult, is_write: bool
     ) -> Generator[Any, Any, int]:
+        sink = self.sim.trace
+        if sink is None:
+            pfn = yield from self._dispatch(thread, vaddr, walk, is_write)
+            return pfn
+        # Open the miss span at fault entry; inner paths retag the path
+        # (swdp / hwdp-fallback) and pre-set non-default outcomes, and every
+        # kernel phase charged below lands in the span via active_span.
+        span = sink.begin_span(
+            thread.name,
+            obs.PATH_OSDP,
+            vaddr=f"{vaddr:#x}",
+            pid=thread.process.pid,
+            write=is_write,
+        )
+        previous_span = thread.active_span
+        thread.active_span = span
+        try:
+            pfn = yield from self._dispatch(thread, vaddr, walk, is_write)
+        except BaseException as exc:
+            sink.end_span(span, obs.FAILED, error=type(exc).__name__)
+            raise
+        finally:
+            thread.active_span = previous_span
+        sink.end_span(span, span.outcome or obs.COMPLETED, pfn=pfn)
+        return pfn
+
+    def _dispatch(
+        self, thread: Any, vaddr: int, walk: WalkResult, is_write: bool
+    ) -> Generator[Any, Any, int]:
         kernel = self.kernel
         kernel.counters.add("fault.exceptions")
         yield from thread.kernel_phase(self.costs.exception_walk_ns, "exception_walk")
@@ -77,6 +107,9 @@ class PageFaultHandler:
         current = decode_pte(process.page_table.get_pte(vaddr))
         if current.present:
             kernel.counters.add("fault.spurious")
+            span = thread.active_span
+            if span is not None:
+                span.outcome = obs.SPURIOUS
             yield from thread.kernel_phase(self.costs.pte_update_return_ns, "return")
             return current.pfn
 
@@ -91,6 +124,11 @@ class PageFaultHandler:
             return pfn
 
         refill = current.status is PteStatus.NON_RESIDENT_HW
+        if refill:
+            span = thread.active_span
+            if span is not None:
+                # The SMU bounced this miss to the OS (free queue empty).
+                span.path = obs.PATH_HWDP_FALLBACK
         pfn = yield from self._coalesced_os_fault(thread, vaddr, vma, refill)
         return pfn
 
@@ -107,7 +145,13 @@ class PageFaultHandler:
             # Another thread is already faulting this page in: sleep on the
             # page lock and return its frame.
             kernel.counters.add("fault.coalesced")
+            span = thread.active_span
+            if span is not None:
+                span.outcome = obs.COALESCED
+                waited_from = self.sim.now
             pfn = yield from thread.block(pending)
+            if span is not None:
+                span.event(waited_from, "page_lock_wait", self.sim.now - waited_from)
             if pfn is None:
                 # The leader's I/O failed terminally; every sleeper on the
                 # page lock gets the same SIGBUS.
@@ -213,7 +257,12 @@ class PageFaultHandler:
                 yield from kernel.refill_free_page_queue(
                     thread, reason="sync", core_id=thread.core.core_id
                 )
+            span = thread.active_span
+            if span is not None:
+                waited_from = self.sim.now
             command = yield from thread.block(io_done)
+            if span is not None:
+                span.event(waited_from, "device_service", self.sim.now - waited_from)
 
             yield from thread.kernel_phase(
                 costs.interrupt_delivery_ns, "interrupt_delivery"
@@ -264,12 +313,20 @@ class PageFaultHandler:
         kernel = self.kernel
         pmshr = self.sw_pmshr
         kernel.counters.add("fault.swdp")
+        span = thread.active_span
+        if span is not None:
+            span.path = obs.PATH_SWDP
         walk = thread.process.page_table.walk(vaddr)
 
         existing = pmshr.lookup(walk.pte_addr)
         if existing is not None:
             kernel.counters.add("fault.swdp_coalesced")
+            if span is not None:
+                span.outcome = obs.COALESCED
+                waited_from = self.sim.now
             pfn = yield from thread.mwait(existing.completion)
+            if span is not None:
+                span.event(waited_from, "coalesced_wait", self.sim.now - waited_from)
             if pfn is None:  # leader failed over to the OS path
                 pfn = yield from self._coalesced_os_fault(
                     thread, vaddr, vma, refill_queue=True
@@ -281,7 +338,11 @@ class PageFaultHandler:
         while pmshr.is_full:
             kernel.counters.add("fault.swdp_pmshr_full")
             pmshr.stats.add("full")
+            if span is not None:
+                waited_from = self.sim.now
             yield from thread.mwait(pmshr.slot_freed)
+            if span is not None:
+                span.event(waited_from, "pmshr_full_wait", self.sim.now - waited_from)
 
         entry = pmshr.allocate(
             walk.pte_addr,
@@ -322,7 +383,11 @@ class PageFaultHandler:
                 io_done = kernel.smu_blockio.submit_read(
                     kernel.nsid_for_vma(vma), decoded.lba, dma_addr=pop.pfn
                 )
+                if span is not None:
+                    waited_from = self.sim.now
                 command = yield from thread.mwait(io_done)
+                if span is not None:
+                    span.event(waited_from, "device_service", self.sim.now - waited_from)
                 if command is None or command.ok:
                     break
                 kernel.counters.add("fault.swdp_io_errors")

@@ -285,6 +285,9 @@ class Kernel:
             vaddr, make_present_pte(pfn, writable=vma.writable)
         )
         self._track_resident(process, vma, vaddr, pfn)
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant("kernel.pte_install", vaddr=f"{vaddr:#x}", pfn=pfn)
         return pfn
 
     def map_cached_page(
@@ -314,6 +317,9 @@ class Kernel:
         process.page_table.write_entry(walk.pte_addr, installed)
         process.page_table.mark_sync_pending(vaddr)
         self.counters.add("install.hw_pending")
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant("kernel.hw_pte_install", vaddr=f"{vaddr:#x}", pfn=pfn)
 
     def sync_hw_page(self, process: ProcessContext, vaddr: int, pte_addr: int) -> bool:
         """One deferred metadata update (kpted / msync / munmap path)."""
@@ -446,6 +452,9 @@ class Kernel:
             refilled_total += len(frames)
         if refilled_total:
             self.counters.add(f"refill.{reason}_pages", refilled_total)
+            sink = self.sim.trace
+            if sink is not None:
+                sink.instant("kernel.queue_refill", reason=reason, pages=refilled_total)
         return refilled_total
 
     # ==================================================================

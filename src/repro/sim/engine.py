@@ -71,6 +71,12 @@ class Simulator:
         self._running = False
         #: Number of events dispatched so far (useful for budget checks).
         self.events_dispatched: int = 0
+        #: Observability hook (:class:`repro.obs.trace.TraceSink` or None).
+        #: ``None`` — the default — means tracing is off and every emission
+        #: site reduces to one ``is None`` check: the zero-overhead-when-
+        #: disabled contract.  The engine itself never consults it; model
+        #: components emit miss-lifecycle spans and instant events through it.
+        self.trace: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # time

@@ -57,8 +57,20 @@ class StatAccumulator:
         return math.sqrt(max(variance, 0.0))
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile ``p`` in [0, 100]; requires samples."""
+        """Linear-interpolated percentile ``p`` in [0, 100].
+
+        Requires retained samples: an accumulator built with
+        ``keep_samples=False`` that has recorded data raises ``ValueError``
+        rather than silently answering ``0.0`` (the pre-fix behaviour, which
+        corrupted latency tables).  An accumulator with no samples *and* no
+        recorded data returns 0.0 — "nothing measured" is a legitimate zero.
+        """
         if not self.samples:
+            if self.count:
+                raise ValueError(
+                    f"{self.name}: percentile({p}) needs retained samples but "
+                    f"keep_samples=False discarded {self.count} of them"
+                )
             return 0.0
         ordered = sorted(self.samples)
         if len(ordered) == 1:
@@ -69,17 +81,27 @@ class StatAccumulator:
         fraction = rank - low
         return ordered[low] * (1 - fraction) + ordered[high] * fraction
 
-    def summary(self) -> Dict[str, float]:
-        result = {
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Summary dict; ``min``/``max`` are 0.0 only when nothing was
+        recorded (an explicit ``is None`` check — a legitimate extremum of
+        0.0 or a negative value must survive).  ``p50``/``p99`` are present
+        whenever data was recorded: numeric when samples were retained,
+        ``None`` (explicit degradation, never a fake 0.0) when
+        ``keep_samples=False`` threw them away.
+        """
+        result: Dict[str, Optional[float]] = {
             "count": float(self.count),
             "mean": self.mean,
-            "min": self.min or 0.0,
-            "max": self.max or 0.0,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
             "stddev": self.stddev,
         }
         if self.samples:
             result["p50"] = self.percentile(50)
             result["p99"] = self.percentile(99)
+        elif self.count:
+            result["p50"] = None
+            result["p99"] = None
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -87,21 +109,32 @@ class StatAccumulator:
 
 
 class Counter:
-    """A bag of named integer tallies with dict-like access."""
+    """A bag of named integer tallies with dict-like access.
+
+    The contract is *integers*: perf-counter style event tallies are always
+    whole numbers, and callers (``core/pmshr.py`` et al.) compare them
+    against ints.  ``add`` accepts any integral amount (``5``, ``5.0``) and
+    rejects fractional ones loudly instead of silently drifting into floats.
+    """
 
     def __init__(self) -> None:
-        self._counts: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
 
-    def add(self, name: str, amount: float = 1) -> None:
-        self._counts[name] += amount
+    def add(self, name: str, amount: int = 1) -> None:
+        value = int(amount)
+        if value != amount:
+            raise ValueError(
+                f"Counter.add({name!r}, {amount!r}): tallies are integers"
+            )
+        self._counts[name] += value
 
-    def get(self, name: str) -> float:
+    def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 
-    def __getitem__(self, name: str) -> float:
+    def __getitem__(self, name: str) -> int:
         return self._counts.get(name, 0)
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, int]:
         return dict(self._counts)
 
     def merge(self, other: "Counter") -> None:

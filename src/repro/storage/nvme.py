@@ -223,6 +223,17 @@ class NVMeDevice:
         qp.outstanding += 1
         qp.submitted += 1
         command.submit_time_ns = self.sim.now
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant(
+                "nvme.submit",
+                device=self.name,
+                qid=qp.qid,
+                cid=command.cid,
+                opcode=command.opcode.value,
+                nsid=command.nsid,
+                lba=command.lba,
+            )
         spawn(self.sim, self._execute(qp, command), f"{self.name}-cmd")
 
     def _service_time(self, command: NVMeCommand) -> float:
@@ -267,6 +278,16 @@ class NVMeDevice:
         else:
             self.reads_completed += 1
             self.read_device_time.add(command.device_time_ns)
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant(
+                "nvme.complete",
+                device=self.name,
+                qid=qp.qid,
+                cid=command.cid,
+                status=command.status.value,
+                device_time_ns=command.device_time_ns,
+            )
         # CQ entry write: this is the memory transaction the SMU snoops and
         # the event the interrupt path is raised for.
         qp.cq.put_nowait(command)

@@ -149,6 +149,14 @@ def test_fmt_thousands_separator_for_negatives():
     assert _fmt(-999.95) == "-999.95"
 
 
+def test_fmt_large_ints_keep_thousands_separator():
+    # Counter tallies became ints; their table rendering must not change.
+    assert _fmt(4850) == "4,850"
+    assert _fmt(-4850) == "-4,850"
+    assert _fmt(999) == "999"
+    assert _fmt(True) == "True"
+
+
 # ----------------------------------------------------------------------
 # CLI conventions
 # ----------------------------------------------------------------------

@@ -66,6 +66,36 @@ class TestStatAccumulator:
         summary = stat.summary()
         assert {"count", "mean", "min", "max", "stddev", "p50", "p99"} <= set(summary)
 
+    def test_summary_preserves_zero_and_negative_extrema(self):
+        # Regression: `self.min or 0.0` collapsed legitimate falsy/negative
+        # extrema — a min of 0.0 survived, but a negative max did not.
+        stat = StatAccumulator()
+        stat.extend([-5.0, -2.0])
+        summary = stat.summary()
+        assert summary["min"] == -5.0
+        assert summary["max"] == -2.0
+        zero = StatAccumulator()
+        zero.extend([0.0, 0.0])
+        assert zero.summary()["min"] == 0.0
+        assert zero.summary()["max"] == 0.0
+
+    def test_percentile_raises_when_samples_discarded(self):
+        # Regression: keep_samples=False silently answered 0.0 for any
+        # percentile despite having recorded data.
+        stat = StatAccumulator(keep_samples=False)
+        stat.extend([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="keep_samples=False"):
+            stat.percentile(50)
+
+    def test_summary_degrades_explicitly_without_samples(self):
+        stat = StatAccumulator(keep_samples=False)
+        stat.extend([1.0, 2.0])
+        summary = stat.summary()
+        assert summary["p50"] is None
+        assert summary["p99"] is None
+        # An empty accumulator reports no percentile keys at all.
+        assert "p50" not in StatAccumulator(keep_samples=False).summary()
+
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
     @settings(max_examples=50, deadline=None)
     def test_property_mean_bounded_by_extremes(self, values):
@@ -96,6 +126,22 @@ class TestCounter:
         counter = Counter()
         counter.add("x", 2)
         assert counter.as_dict() == {"x": 2}
+
+    def test_tallies_stay_integers(self):
+        # Regression: the docstring promised integers but float amounts
+        # silently drifted the stored values to floats.
+        counter = Counter()
+        counter.add("x", 2.0)  # integral float: accepted, stored as int
+        counter.add("x", 3)
+        assert counter["x"] == 5
+        assert isinstance(counter["x"], int)
+        assert isinstance(counter.as_dict()["x"], int)
+
+    def test_fractional_amount_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError, match="integers"):
+            counter.add("x", 1.5)
+        assert counter["x"] == 0
 
 
 class TestRngStreams:
