@@ -1,0 +1,38 @@
+"""``repro.check``: machine-checked determinism invariants.
+
+Every headline table in this reproduction (the Fig. 3/11 breakdowns, the
+OSDP-vs-HWDP A/B parity, byte-identical ``--jobs N`` merges, the
+zero-perturbation tracing guarantee) rests on hand-enforced rules: all
+randomness flows through :class:`repro.sim.rng.RngStreams` named streams,
+all time through :attr:`repro.sim.engine.Simulator.now`, and no iteration
+order ever leaks into scheduling or statistics.  This package enforces
+those rules mechanically, in two halves:
+
+* a **static linter** (``python -m repro.check lint src/``) — a custom
+  AST pass with DES-specific rules (REP001–REP006, see
+  :mod:`repro.check.rules`) and per-line
+  ``# repro: allow[RULE] reason=...`` suppression pragmas;
+* a **runtime simulation-order sanitizer**
+  (:class:`repro.check.sanitizer.SimSanitizer`) — opt-in like
+  :class:`repro.obs.trace.TraceSink`, it tags every mutation of a shared
+  simulation structure with ``(sim_time, causal chain, site)`` and flags
+  same-timestamp conflicts whose outcome depends only on the event heap's
+  FIFO tie-break.
+
+See ``docs/static-analysis.md`` for the rule catalogue and hazard model.
+"""
+
+from repro.check.linter import Diagnostic, lint_paths, lint_source
+from repro.check.rules import RULES, Rule
+from repro.check.sanitizer import SanitizerReport, SimSanitizer, TieBreakHazard
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "Rule",
+    "SanitizerReport",
+    "SimSanitizer",
+    "TieBreakHazard",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro.check``.
+
+Usage::
+
+    python -m repro.check lint src/                # lint a tree (exit 1 on findings)
+    python -m repro.check lint file.py --format json
+    python -m repro.check rules                    # print the rule catalogue
+
+Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.check.linter import lint_paths
+from repro.check.rules import RULES, UNUSED_PRAGMA
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Determinism linter for the DES core.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    lint = commands.add_parser("lint", help="lint files/directories")
+    lint.add_argument("paths", nargs="+", metavar="PATH", help="files or directories")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+
+    commands.add_parser("rules", help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "rules":
+        width = max(len(rule_id) for rule_id in RULES)
+        print(f"{UNUSED_PRAGMA.ljust(width)}  unused-pragma: allow[...] that suppresses nothing")
+        for rule in RULES.values():
+            print(f"{rule.id.ljust(width)}  {rule.name}: {rule.summary}")
+        return 0
+
+    if args.command != "lint":
+        parser.print_usage(sys.stderr)
+        return 2
+
+    diagnostics = lint_paths(args.paths)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": d.path,
+                        "line": d.line,
+                        "col": d.col,
+                        "rule": d.rule,
+                        "message": d.message,
+                    }
+                    for d in diagnostics
+                ],
+                indent=1,
+            )
+        )
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        if diagnostics:
+            print(f"{len(diagnostics)} finding(s)", file=sys.stderr)
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

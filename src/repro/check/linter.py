@@ -1,0 +1,183 @@
+"""File-level driver for the determinism linter.
+
+Parses each file once, runs every registered rule (see
+:mod:`repro.check.rules`), then applies per-line suppression pragmas::
+
+    started = time.monotonic()  # repro: allow[REP001] reason=progress timing
+
+A pragma suppresses diagnostics of its rule whose source span covers the
+pragma's line.  Pragmas that suppress nothing are themselves reported as
+``REP000`` (unused suppression) — stale pragmas hide future violations,
+so the tree must not accumulate them.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Pragma comments carry ``allow[REP001] reason=...`` after the marker
+#: prefix; the reason is free text to the end of the comment and is
+#: mandatory — a suppression without a recorded justification is
+#: indistinguishable from a mistake a year later.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>REP\d{3})\]\s*(?:reason=(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation (or pragma problem) at a source location."""
+
+    path: str
+    line: int
+    col: int
+    end_line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule: str
+    reason: str
+
+
+def _iter_comments(source: str) -> Iterable[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every real comment token.
+
+    Tokenising (rather than text-scanning lines) keeps pragma-shaped text
+    inside string literals — like the examples in this module — inert.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return
+
+
+def _find_pragmas(path: str, source: str) -> Tuple[List[Pragma], List[Diagnostic]]:
+    pragmas: List[Pragma] = []
+    problems: List[Diagnostic] = []
+    for lineno, col, text in _iter_comments(source):
+        if "repro:" not in text:
+            continue
+        match = _PRAGMA_RE.search(text.rstrip())
+        if match is None:
+            problems.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    col + 1,
+                    lineno,
+                    "REP000",
+                    "malformed repro pragma — expected "
+                    "'# repro: allow[REPnnn] reason=...'",
+                )
+            )
+            continue
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            problems.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    col + 1,
+                    lineno,
+                    "REP000",
+                    f"allow[{match.group('rule')}] pragma without a reason= "
+                    "justification",
+                )
+            )
+            continue
+        pragmas.append(Pragma(lineno, match.group("rule"), reason))
+    return pragmas, problems
+
+
+def lint_source(path: str, source: str) -> List[Diagnostic]:
+    """Lint one file's source; returns diagnostics sorted by location."""
+    from repro.check.rules import RULES, LintContext
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path,
+                error.lineno or 1,
+                (error.offset or 0) + 1,
+                error.lineno or 1,
+                "REP000",
+                f"syntax error: {error.msg}",
+            )
+        ]
+
+    ctx = LintContext.build(path, tree)
+    raw: List[Diagnostic] = []
+    for registered in RULES.values():
+        raw.extend(registered.check(ctx))
+
+    pragmas, problems = _find_pragmas(path, source)
+    used: Dict[int, bool] = {index: False for index in range(len(pragmas))}
+    kept: List[Diagnostic] = []
+    for diagnostic in raw:
+        suppressed = False
+        for index, pragma in enumerate(pragmas):
+            if pragma.rule == diagnostic.rule and (
+                diagnostic.line <= pragma.line <= diagnostic.end_line
+            ):
+                used[index] = True
+                suppressed = True
+        if not suppressed:
+            kept.append(diagnostic)
+    for index, pragma in enumerate(pragmas):
+        if not used[index]:
+            kept.append(
+                Diagnostic(
+                    path,
+                    pragma.line,
+                    1,
+                    pragma.line,
+                    "REP000",
+                    f"unused allow[{pragma.rule}] pragma — nothing on this "
+                    "line violates the rule; remove it",
+                )
+            )
+    kept.extend(problems)
+    kept.sort(key=lambda d: (d.line, d.col, d.rule))
+    return kept
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    seen = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            seen.extend(sorted(root.rglob("*.py")))
+        else:
+            seen.append(root)
+    # Stable order, duplicates removed (resolved paths are comparable).
+    unique = sorted({path.resolve() for path in seen})
+    return [path for path in unique if path.suffix == ".py"]
+
+
+def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under ``paths``."""
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(lint_source(str(path), path.read_text()))
+    return diagnostics

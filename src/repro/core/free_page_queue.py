@@ -35,6 +35,8 @@ class FreePageQueue:
         self._queue: Deque[int] = deque()
         self._prefetch: Deque[int] = deque()
         self.stats = Counter()
+        #: Simulation-order sanitizer hook (set by SimSanitizer.watch).
+        self._sanitizer = None
 
     # ------------------------------------------------------------------
     @property
@@ -55,6 +57,8 @@ class FreePageQueue:
     # ------------------------------------------------------------------
     def refill(self, pfns: List[int]) -> int:
         """Producer appends frames; returns how many were accepted."""
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         accepted = 0
         for pfn in pfns:
             if len(self._queue) >= self.depth:
@@ -74,6 +78,8 @@ class FreePageQueue:
         empty (the SMU then fails the miss back to the OS, §III-C), and
         ``from_prefetch`` says whether the pop was latency-hidden.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         if self._prefetch:
             pfn = self._prefetch.popleft()
             self.stats.add("pop_prefetched")

@@ -70,6 +70,8 @@ class Pmshr:
         #: Broadcast when a slot frees up (a full PMSHR retries on this).
         self.slot_freed = Signal(sim, "pmshr-slot-freed")
         self.stats = Counter()
+        #: Simulation-order sanitizer hook (set by SimSanitizer.watch).
+        self._sanitizer = None
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +85,8 @@ class Pmshr:
     # ------------------------------------------------------------------
     def lookup(self, pte_addr: int) -> Optional[PmshrEntry]:
         """CAM search — a hit means an identical miss is already in flight."""
+        if self._sanitizer is not None:
+            self._sanitizer.note_read(self)
         entry = self._by_pte_addr.get(pte_addr)
         if entry is not None:
             self.stats.add("coalesced")
@@ -102,6 +106,8 @@ class Pmshr:
         if not self._free_indices:
             self.stats.add("full")
             return None
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         index = self._free_indices.pop()
         entry = PmshrEntry(
             index, pte_addr, pmd_entry_addr, pud_entry_addr, device_id, lba, self.sim
@@ -124,6 +130,8 @@ class Pmshr:
         stored = self._by_pte_addr.pop(entry.pte_addr, None)
         if stored is not entry:
             raise SmuError(f"PMSHR release of unknown entry {entry.pte_addr:#x}")
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         self._free_indices.append(entry.index)
         sink = self.sim.trace
         if sink is not None:

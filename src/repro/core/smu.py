@@ -198,6 +198,9 @@ class Smu:
             decoded.lba,
         )
         pid = thread.process.pid
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note(f"smu[{self.socket_id}].outstanding_by_pid", "write")
         self._outstanding_by_pid[pid] = self._outstanding_by_pid.get(pid, 0) + 1
         started = self.sim.now
 
@@ -310,6 +313,9 @@ class Smu:
             self.pmshr.release(entry, pop.pfn)
             return pop.pfn
         finally:
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.note(f"smu[{self.socket_id}].outstanding_by_pid", "write")
             remaining = self._outstanding_by_pid.get(pid, 0) - 1
             if remaining <= 0:
                 self._outstanding_by_pid.pop(pid, None)
@@ -376,10 +382,16 @@ class Smu:
     # ------------------------------------------------------------------
     def _register_io(self, entry) -> Completion:
         done = Completion(self.sim, f"smu-io-{entry.index}")
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note(f"smu[{self.socket_id}].inflight_tags", "write")
         self._inflight_by_tag[entry.index] = done
         return done
 
     def _on_completion(self, command: NVMeCommand) -> None:
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note(f"smu[{self.socket_id}].inflight_tags", "write")
         done = self._inflight_by_tag.pop(command.cid, None)
         if done is None:
             raise SmuError(f"completion for unknown PMSHR tag {command.cid}")

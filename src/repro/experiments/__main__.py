@@ -103,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "JSON object per experiment cell) to PATH (forces serial "
         "in-process execution)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every cell under the simulation-order sanitizer and "
+        "report same-timestamp tie-break hazards after the run (forces "
+        "serial in-process execution; exit 1 if any hazard is found)",
+    )
     return parser
 
 
@@ -142,13 +149,13 @@ def main(argv=None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     observation = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.sanitize:
         from repro.obs.runtime import Observation
         from repro.obs.trace import TraceSink
 
         if args.jobs > 1:
             print(
-                "[observability: --trace/--metrics force --jobs 1 "
+                "[observability: --trace/--metrics/--sanitize force --jobs 1 "
                 "(cells must run in-process to be observed)]",
                 file=sys.stderr,
             )
@@ -156,6 +163,7 @@ def main(argv=None) -> int:
         observation = Observation(
             trace=TraceSink() if args.trace else None,
             metrics=bool(args.metrics),
+            sanitize=args.sanitize,
         )
 
     pool = None
@@ -166,7 +174,7 @@ def main(argv=None) -> int:
     status = 0
     try:
         for spec in specs:
-            started = time.time()
+            started = time.monotonic()  # repro: allow[REP001] reason=host-side progress timing, never feeds the simulation
             try:
                 report = execute(
                     [spec],
@@ -186,9 +194,10 @@ def main(argv=None) -> int:
             print()
             if out_dir is not None:
                 (out_dir / f"{result.name}.txt").write_text(result.to_text() + "\n")
+            elapsed = time.monotonic() - started  # repro: allow[REP001] reason=host-side progress timing, never feeds the simulation
             print(
                 f"[{spec.name}: {report.total_cells} cells "
-                f"({report.cached} cached) in {time.time() - started:.1f}s]",
+                f"({report.cached} cached) in {elapsed:.1f}s]",
                 file=sys.stderr,
             )
     finally:
@@ -197,7 +206,28 @@ def main(argv=None) -> int:
 
     if observation is not None:
         _write_observation(observation, args)
+        if args.sanitize and _report_hazards(observation) and status == 0:
+            status = 1
     return status
+
+
+def _report_hazards(observation) -> int:
+    """Print the sanitizer's post-run hazard report; return the hazard count."""
+    total_hazards = 0
+    total_accesses = 0
+    for unit, sanitizer in observation.sanitizers:
+        report = sanitizer.report()
+        total_accesses += report.accesses
+        for hazard in report.hazards:
+            total_hazards += 1
+            print(f"[sanitize: {unit}: {hazard.format()}]", file=sys.stderr)
+    verdict = "OK" if total_hazards == 0 else "FAILED"
+    print(
+        f"[sanitize: {verdict}: {total_hazards} tie-break hazards across "
+        f"{len(observation.sanitizers)} cells ({total_accesses} accesses checked)]",
+        file=sys.stderr,
+    )
+    return total_hazards
 
 
 def _write_observation(observation, args) -> None:

@@ -77,9 +77,10 @@ def check_invariants(system: Any) -> InvariantReport:
                 f"{sorted(smu._inflight_by_tag)}"
             )
         if smu._outstanding_by_pid:
+            counts = dict(sorted(smu._outstanding_by_pid.items()))
             note(
                 f"SMU {smu.socket_id}: per-pid outstanding counts not drained "
-                f"{dict(smu._outstanding_by_pid)} (munmap barrier would hang)"
+                f"{counts} (munmap barrier would hang)"
             )
     sw_pmshr = kernel.fault_handler.sw_pmshr
     if sw_pmshr is not None and sw_pmshr.outstanding:
@@ -101,6 +102,9 @@ def check_invariants(system: Any) -> InvariantReport:
             note(f"queue pair {qid} ({qp.owner}) has {qp.outstanding} outstanding")
 
     # -- 4: page table consistent with resident frames -----------------
+    # Membership sets are fine, but anything *reported* (violation text,
+    # the observed dict) must be sorted first: iterating a set of PFNs
+    # would make the report text depend on hash order.
     tracked = set(kernel._page_info.keys())
     pending = set()
     free = set(kernel.frame_pool._free)
@@ -116,7 +120,8 @@ def check_invariants(system: Any) -> InvariantReport:
                 )
             if decoded.lba_bit and decoded.pfn not in tracked:
                 pending.add(decoded.pfn)
-    for pfn, page in kernel._page_info.items():
+    for pfn in sorted(kernel._page_info):
+        page = kernel._page_info[pfn]
         pte = decode_pte(page.process.page_table.get_pte(page.vaddr))
         if not pte.present or pte.pfn != pfn:
             note(
@@ -130,7 +135,8 @@ def check_invariants(system: Any) -> InvariantReport:
         note(
             f"frame leak: pool says {used} frames in use, owners account for "
             f"{accounted} (resident={len(tracked)} pending-sync={len(pending)} "
-            f"queued={queued})"
+            f"queued={queued}; resident sample {sorted(tracked)[:8]} "
+            f"pending sample {sorted(pending)[:8]})"
         )
 
     report.observed.update(
@@ -139,6 +145,7 @@ def check_invariants(system: Any) -> InvariantReport:
             "accounted_frames": accounted,
             "resident": len(tracked),
             "pending_sync": len(pending),
+            "pending_pfns": sorted(pending),
             "queued": queued,
         }
     )

@@ -26,6 +26,9 @@ class FramePool:
         #: Lifetime counters for experiments.
         self.allocations = 0
         self.frees = 0
+        #: Simulation-order sanitizer hook (set by SimSanitizer.watch);
+        #: ``None`` keeps every mutator at one attribute check.
+        self._sanitizer = None
 
     # ------------------------------------------------------------------
     @property
@@ -49,6 +52,8 @@ class FramePool:
         """Allocate one frame; raises :class:`OutOfMemoryError` when empty."""
         if not self._free:
             raise OutOfMemoryError("physical frame pool exhausted")
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         pfn = self._free.popleft()
         self._free_set.discard(pfn)
         self.allocations += 1
@@ -75,6 +80,8 @@ class FramePool:
             raise PageTableError(f"PFN {pfn} out of range")
         if pfn in self._free_set:
             raise PageTableError(f"double free of PFN {pfn}")
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         self._free.append(pfn)
         self._free_set.add(pfn)
         self.frees += 1

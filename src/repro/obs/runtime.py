@@ -21,15 +21,26 @@ from repro.obs.trace import TraceSink
 class Observation:
     """One run's worth of observability state: a sink plus metric registries."""
 
-    def __init__(self, trace: Optional[TraceSink] = None, metrics: bool = False):
+    def __init__(
+        self,
+        trace: Optional[TraceSink] = None,
+        metrics: bool = False,
+        sanitize: bool = False,
+    ):
         #: Sink receiving spans/instants from every simulator built while
         #: this observation is active; ``None`` disables span tracing.
         self.trace = trace
         #: When true, keep a reference to every built system's registry so
         #: the CLI can dump metrics after the run.
         self.collect_metrics = metrics
+        #: When true, attach a fresh
+        #: :class:`repro.check.sanitizer.SimSanitizer` to every built
+        #: system and keep it for post-run hazard reporting.
+        self.sanitize = sanitize
         #: ``(unit_label, registry)`` per observed system, in build order.
         self.registries: List[Tuple[str, MetricsRegistry]] = []
+        #: ``(unit_label, sanitizer)`` per observed system, in build order.
+        self.sanitizers: List[Tuple[str, Any]] = []
         self._unit: Optional[str] = None
         self._unit_serial = 0
 
@@ -75,6 +86,14 @@ def observe_system(system: Any) -> None:
     unit = observation.next_unit()
     if observation.trace is not None:
         observation.trace.attach(system.sim, unit)
+    if observation.sanitize:
+        # Imported lazily: repro.check is an optional dev-time layer and
+        # the hot no-observation path must not pay for it.
+        from repro.check.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer()
+        sanitizer.attach(system)
+        observation.sanitizers.append((unit, sanitizer))
     if observation.collect_metrics:
         # ``build_system`` attaches a registry to every machine; fall back
         # to building one for systems wired by hand.

@@ -264,6 +264,9 @@ class Kernel:
         if page.file is not None:
             self.page_cache.remove(page.file, page.file_page)
         self.cpu_complex.tlb_shootdown(page.vpn)
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note("kernel.page_info", "write")
         self._page_info.pop(page.pfn, None)
         self.frame_pool.free(page.pfn)
         self.counters.add("reclaim.evicted")
@@ -348,6 +351,9 @@ class Kernel:
             file=file,
             file_page=file_page,
         )
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note("kernel.page_info", "write")
         self.lru.insert(page)
         self._page_info[pfn] = page
         if file is not None:
@@ -646,6 +652,9 @@ class Kernel:
                 )
             return
         if page is not None:
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.note("kernel.page_info", "write")
             self._page_info.pop(decoded.pfn, None)
             self.lru.remove(decoded.pfn)
             if page.file is not None:

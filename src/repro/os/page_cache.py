@@ -24,7 +24,7 @@ class PageCache:
 
     @staticmethod
     def _key(file: File, page_index: int) -> Tuple[int, int]:
-        return (id(file), page_index)
+        return (id(file), page_index)  # repro: allow[REP005] reason=identity key only, never ordered or exposed in results
 
     def lookup(self, file: File, page_index: int) -> Optional[int]:
         """Return the cached PFN for a file page, or None."""

@@ -23,6 +23,13 @@ class ProcessContext:
         self.page_table = PageTable(asid=self.pid)
         self.layout = AddressSpaceLayout()
         self.terminated = False
+        # Processes can be created (or forked) mid-run, after a
+        # simulation-order sanitizer attached; register the new page
+        # table so SMU/OS writes to it are conflict-checked too.
+        sim = getattr(kernel, "sim", None)
+        sanitizer = getattr(sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.watch(self.page_table, f"page_table[{name}#{self.pid}]")
 
     # ------------------------------------------------------------------
     def find_vma(self, vaddr: int) -> Optional[Vma]:

@@ -34,13 +34,18 @@ class ScheduledEvent:
     cancellation O(1).
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "chain")
 
     def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Causal-chain tag assigned by :class:`repro.check.sanitizer.
+        #: SimSanitizer` when one is attached (0 otherwise): a zero-delay
+        #: event inherits the scheduling dispatch's chain, marking its
+        #: same-timestamp ordering as causal rather than a FIFO tie-break.
+        self.chain = 0
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
@@ -77,6 +82,12 @@ class Simulator:
         #: disabled contract.  The engine itself never consults it; model
         #: components emit miss-lifecycle spans and instant events through it.
         self.trace: Optional[Any] = None
+        #: Simulation-order sanitizer (:class:`repro.check.sanitizer.
+        #: SimSanitizer` or None).  Same opt-in contract as :attr:`trace`:
+        #: when attached, the engine tags scheduled events with causal
+        #: chains and announces each dispatch so the sanitizer can flag
+        #: same-timestamp shared-structure conflicts (tie-break hazards).
+        self.sanitizer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # time
@@ -96,8 +107,12 @@ class Simulator:
         events already scheduled for the current instant.
         """
         if delay < 0:
+            # A negative delay would fire in the simulation's past and
+            # silently corrupt the calendar queue's monotonic order.
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = ScheduledEvent(self._now + delay, callback, args)
+        if self.sanitizer is not None:
+            event.chain = self.sanitizer.chain_for_new_event(event.time)
         heapq.heappush(self._queue, (event.time, next(self._sequence), event))
         return event
 
@@ -122,6 +137,8 @@ class Simulator:
                 raise SimulationError("event queue went backwards in time")
             self._now = time
             self.events_dispatched += 1
+            if self.sanitizer is not None:
+                self.sanitizer.begin_dispatch(time, event.chain)
             event.callback(*event.args)
             return True
         return False

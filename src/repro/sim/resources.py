@@ -137,12 +137,19 @@ class FifoChannel:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Completion] = deque()
         self._putters: Deque[Completion] = deque()
+        #: Simulation-order sanitizer hook (set by SimSanitizer.watch):
+        #: channels carry cross-component traffic (NVMe completion queues,
+        #: block-layer request queues), so same-instant puts from
+        #: different producers are tie-break ordered.
+        self._sanitizer = None
 
     def __len__(self) -> int:
         return len(self._items)
 
     def try_get(self) -> Any:
         """Non-blocking get; raises IndexError when empty."""
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         item = self._items.popleft()
         if self._putters:
             self._putters.popleft().fire()
@@ -154,6 +161,8 @@ class FifoChannel:
             ticket = Completion(self.sim, f"{self.name}-put")
             self._putters.append(ticket)
             yield WaitSignal(ticket)
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         self._items.append(item)
         if self._getters:
             self._getters.popleft().fire()
@@ -162,6 +171,8 @@ class FifoChannel:
         """Non-blocking put; raises on a full bounded channel."""
         if self.capacity is not None and len(self._items) >= self.capacity:
             raise SimulationError(f"channel {self.name} full")
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         self._items.append(item)
         if self._getters:
             self._getters.popleft().fire()

@@ -82,6 +82,10 @@ class PageTable:
         #: Counters for the §IV-B space-overhead discussion.
         self.table_pages_allocated = 1
         self.populated_ptes = 0
+        #: Simulation-order sanitizer hook (set by SimSanitizer.watch);
+        #: the OS and the SMU mutate the same table, which is exactly the
+        #: shared-structure race the sanitizer watches for.
+        self._sanitizer = None
 
     # ------------------------------------------------------------------
     # node management
@@ -138,6 +142,8 @@ class PageTable:
     # ------------------------------------------------------------------
     def set_pte(self, vaddr: int, value: int) -> WalkResult:
         """Write the leaf PTE, allocating intermediate tables as needed."""
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         node = self.root
         pud_entry_addr = pmd_entry_addr = None
         for level in range(LEVELS - 1, 0, -1):
@@ -187,10 +193,14 @@ class PageTable:
         return node, offset // 8
 
     def read_entry(self, entry_addr: int) -> int:
+        if self._sanitizer is not None:
+            self._sanitizer.note_read(self)
         node, index = self._locate(entry_addr)
         return node.entries[index]
 
     def write_entry(self, entry_addr: int, value: int) -> None:
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         node, index = self._locate(entry_addr)
         previous = node.entries[index]
         node.entries[index] = value
@@ -202,6 +212,8 @@ class PageTable:
 
     def set_entry_lba_bit(self, entry_addr: int) -> None:
         """Set the LBA bit of an (upper-level) entry by address (§III-C)."""
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
         node, index = self._locate(entry_addr)
         node.entries[index] |= LBA_BIT
 

@@ -1,0 +1,39 @@
+"""Clean fixture: near-miss patterns the linter must NOT flag.
+
+Never imported — this file exists only to be parsed by the linter tests.
+"""
+
+import numpy as np
+
+
+def membership_is_fine(frame_pool, pfn):
+    free = set(frame_pool)
+    return pfn in free
+
+
+def sorted_iteration_is_fine(sim, pages):
+    pending = set(pages)
+    for page in sorted(pending):
+        sim.schedule(0.0, page.flush)
+
+
+def returning_sorted_is_fine(pages):
+    seen = set(pages)
+    return sorted(seen)
+
+
+def counting_is_fine(pages):
+    distinct = set(pages)
+    return len(distinct)
+
+
+def seeded_rng_is_fine(seed):
+    return np.random.default_rng(seed)
+
+
+def time_ordering_is_fine(sim, deadline_ns):
+    return sim.now >= deadline_ns
+
+
+def positive_delay_is_fine(sim, handler):
+    sim.schedule(1.5, handler)

@@ -1,0 +1,18 @@
+"""Pragma fixture: suppression, a stale pragma, and a missing reason.
+
+Never imported — parsed by the linter tests only.
+"""
+
+import time
+
+
+def host_profile():
+    return time.perf_counter()  # repro: allow[REP001] reason=host-side profiling outside the simulation
+
+
+def stale():
+    return 42  # repro: allow[REP006] reason=left behind by a refactor
+
+
+def missing_reason():
+    return time.perf_counter()  # repro: allow[REP001]

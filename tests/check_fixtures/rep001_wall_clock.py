@@ -1,0 +1,21 @@
+"""Seeded REP001 violations: wall-clock reads in simulated code.
+
+Never imported — parsed by the linter tests only.  Lines carrying a
+violation end with an ``EXPECT`` marker the tests assert against.
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_completion(record):
+    record.finished_at = time.time()  # EXPECT REP001
+
+
+def measure_service(start):
+    return perf_counter() - start  # EXPECT REP001
+
+
+def log_line(message):
+    return f"{datetime.now()} {message}"  # EXPECT REP001

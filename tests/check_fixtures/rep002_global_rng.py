@@ -1,0 +1,24 @@
+"""Seeded REP002 violations: global / unseeded RNG state.
+
+Never imported — parsed by the linter tests only.
+"""
+
+import random
+
+import numpy as np
+
+
+def jitter_delay(base):
+    return base + random.random()  # EXPECT REP002
+
+
+def pick_victim(frames):
+    return random.choice(frames)  # EXPECT REP002
+
+
+def sample_offsets(count):
+    return np.random.randint(0, 4096, size=count)  # EXPECT REP002
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # EXPECT REP002

@@ -1,0 +1,26 @@
+"""Seeded REP003 violations: unordered sets feeding order-sensitive sinks.
+
+Never imported — parsed by the linter tests only.
+"""
+
+
+def flush_dirty(sim, pages):
+    dirty = set(pages)
+    for page in dirty:  # EXPECT REP003
+        sim.schedule(0.0, page.flush)
+
+
+def requeue(queue, items):
+    backlog = {item for item in items}
+    for item in backlog:  # EXPECT REP003
+        queue.append(item)
+
+
+def leaked_order(pages):
+    seen = set(pages)
+    return seen  # EXPECT REP003
+
+
+def tainted_payload(stats, pages):
+    touched = frozenset(pages)
+    stats.record(list(touched))  # EXPECT REP003

@@ -1,0 +1,14 @@
+"""Seeded REP004 violations: exact float equality against sim times.
+
+Never imported — parsed by the linter tests only.
+"""
+
+
+def wait_complete(sim, deadline_ns):
+    return sim.now == deadline_ns  # EXPECT REP004
+
+
+def retire_if_due(event_time, completion):
+    if completion.end_ns != event_time:  # EXPECT REP004
+        return None
+    return completion

@@ -1,0 +1,12 @@
+"""Seeded REP005 violations: id()-derived ordering or keys.
+
+Never imported — parsed by the linter tests only.
+"""
+
+
+def unstable_key(page):
+    return (id(page), page.index)  # EXPECT REP005
+
+
+def order_waiters(waiters):
+    return sorted(waiters, key=lambda waiter: id(waiter))  # EXPECT REP005

@@ -1,0 +1,12 @@
+"""Seeded REP006 violations: provably negative schedule delays.
+
+Never imported — parsed by the linter tests only.
+"""
+
+
+def reschedule_in_past(sim, handler):
+    sim.schedule(-1.0, handler)  # EXPECT REP006
+
+
+def negative_int_delay(sim, handler):
+    sim.schedule(-3, handler, "tag")  # EXPECT REP006

@@ -1,0 +1,145 @@
+"""Fixture-driven tests for the determinism linter (``repro.check``).
+
+Each dirty fixture under ``tests/check_fixtures/`` seeds violations of
+exactly one rule and marks every violating line with ``# EXPECT REPnnn``;
+the tests assert the linter reports that rule at exactly those lines (and
+nothing else), so both false negatives and false positives fail loudly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import RULES, lint_paths, lint_source
+from repro.check.__main__ import main as check_main
+
+FIXTURES = Path(__file__).parent / "check_fixtures"
+REPO_SRC = Path(__file__).parent.parent / "src"
+
+DIRTY_FIXTURES = [
+    ("REP001", "rep001_wall_clock.py"),
+    ("REP002", "rep002_global_rng.py"),
+    ("REP003", "rep003_set_iteration.py"),
+    ("REP004", "rep004_time_equality.py"),
+    ("REP005", "rep005_id_ordering.py"),
+    ("REP006", "rep006_negative_delay.py"),
+]
+
+
+def expected_lines(path: Path, rule: str):
+    marker = f"# EXPECT {rule}"
+    return sorted(
+        lineno
+        for lineno, line in enumerate(path.read_text().splitlines(), 1)
+        if marker in line
+    )
+
+
+def test_all_rules_have_a_fixture():
+    assert sorted(RULES) == sorted(rule for rule, _ in DIRTY_FIXTURES)
+
+
+@pytest.mark.parametrize("rule,name", DIRTY_FIXTURES)
+def test_rule_catches_seeded_fixture(rule, name):
+    path = FIXTURES / name
+    expected = expected_lines(path, rule)
+    assert expected, f"{name} must mark violations with '# EXPECT {rule}'"
+    diagnostics = lint_paths([str(path)])
+    assert diagnostics, f"{name}: linter reported nothing"
+    for diagnostic in diagnostics:
+        assert diagnostic.rule == rule
+        assert diagnostic.path == str(path.resolve())
+    assert sorted({d.line for d in diagnostics}) == expected
+
+
+def test_clean_fixture_has_no_findings():
+    assert lint_paths([str(FIXTURES / "clean.py")]) == []
+
+
+def test_repo_source_tree_is_lint_clean():
+    diagnostics = lint_paths([str(REPO_SRC)])
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
+
+
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+def test_pragma_suppression_and_staleness():
+    path = FIXTURES / "pragmas.py"
+    source = path.read_text()
+    lines = source.splitlines()
+    suppressed_line = next(
+        i for i, text in enumerate(lines, 1) if "reason=host-side" in text
+    )
+    stale_line = next(
+        i for i, text in enumerate(lines, 1) if "left behind" in text
+    )
+    bare_line = next(
+        i for i, text in enumerate(lines, 1) if text.rstrip().endswith("allow[REP001]")
+    )
+
+    diagnostics = lint_source(str(path), source)
+    reported = {(d.rule, d.line) for d in diagnostics}
+
+    # The justified pragma suppresses its REP001 — no finding on that line.
+    assert not any(line == suppressed_line for _, line in reported)
+    # The stale pragma is itself a finding.
+    assert ("REP000", stale_line) in reported
+    # A pragma without reason= is a finding AND does not suppress.
+    assert ("REP000", bare_line) in reported
+    assert ("REP001", bare_line) in reported
+    assert reported == {
+        ("REP000", stale_line),
+        ("REP000", bare_line),
+        ("REP001", bare_line),
+    }
+
+
+def test_pragma_inside_string_literal_is_inert():
+    source = 'MESSAGE = "# repro: allow[REP001] reason=not a pragma"\n'
+    assert lint_source("literal.py", source) == []
+
+
+def test_syntax_error_reported_not_raised():
+    diagnostics = lint_source("broken.py", "def broken(:\n")
+    assert len(diagnostics) == 1
+    assert diagnostics[0].rule == "REP000"
+    assert "syntax error" in diagnostics[0].message
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_exit_zero_on_clean(capsys):
+    assert check_main(["lint", str(FIXTURES / "clean.py")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_exit_one_on_findings(capsys):
+    path = FIXTURES / "rep006_negative_delay.py"
+    assert check_main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "REP006" in out
+    assert str(path.resolve()) in out
+
+
+def test_cli_json_format(capsys):
+    path = FIXTURES / "rep005_id_ordering.py"
+    assert check_main(["lint", str(path), "--format", "json"]) == 1
+    findings = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in findings} == {"REP005"}
+    assert sorted(f["line"] for f in findings) == expected_lines(path, "REP005")
+
+
+def test_cli_rules_catalogue(capsys):
+    assert check_main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ["REP000", *RULES]:
+        assert rule_id in out
+
+
+def test_cli_usage_error_exits_two():
+    with pytest.raises(SystemExit) as excinfo:
+        check_main(["lint"])  # missing required paths
+    assert excinfo.value.code == 2

@@ -51,6 +51,29 @@ def test_negative_delay_rejected():
         sim.schedule(-1.0, lambda: None)
 
 
+def test_negative_delay_rejected_mid_run_leaves_queue_intact():
+    """A rejected schedule must not corrupt the calendar queue.
+
+    The guard has to fire *before* the event is pushed: if a negative
+    delay sneaked into the heap, heap order relative to already-queued
+    events would silently break instead of raising.
+    """
+    sim = Simulator()
+    fired = []
+
+    def bad(tag):
+        fired.append(tag)
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.5, fired.append, "never")
+
+    sim.schedule(10.0, bad, "bad")
+    sim.schedule(20.0, fired.append, "after")
+    sim.run()
+    assert fired == ["bad", "after"]
+    assert sim.now == 20.0
+    assert sim.peek() is None
+
+
 def test_schedule_at_absolute_time():
     sim = Simulator()
     fired = []
