@@ -1,0 +1,259 @@
+"""Perf harness: measure events/sec and wall time per experiment.
+
+This is the speed campaign's recording instrument.  Each invocation runs a
+set of ``(experiment, scale)`` measurements cold (no cell cache, serial,
+in-process), counts every simulator's dispatched events through the
+observation runtime, and writes one ``BENCH_<n>.json`` snapshot next to
+this file.  Successive snapshots — ``BENCH_1.json``, ``BENCH_2.json``, … —
+form the repo's recorded perf trajectory: compare any two to see where
+engine work moved the needle.
+
+Usage::
+
+    python benchmarks/perf.py                     # default suite, record next BENCH_<n>.json
+    python benchmarks/perf.py --only fig11 fig13  # subset, quick scale
+    python benchmarks/perf.py --only fig13 --scale paper-shape
+    python benchmarks/perf.py --out /tmp/bench.json --label "my experiment"
+    python benchmarks/perf.py --only fig11 fig13 --check benchmarks/BENCH_2.json
+
+``--check BASELINE`` compares the fresh run against a recorded snapshot
+and exits 1 if any matching ``(experiment, scale)`` entry regressed by
+more than ``--tolerance`` (default 0.25, i.e. >25 % events/sec loss) —
+the CI perf gate.  Entries present in only one of the two runs are
+ignored, so the CI subset can check against a full-suite baseline.
+
+The default suite is the full registry at quick scale plus the headline
+contended grid, fig13, at paper shape.  Measurements are wall-clock and
+therefore host-dependent; the snapshot records the host so cross-machine
+comparisons can be discounted (or gated with a looser tolerance via
+``REPRO_PERF_TOLERANCE``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import re
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+_REPO_SRC = BENCH_DIR.parent / "src"
+if str(_REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(_REPO_SRC))
+
+from repro.experiments import registry  # noqa: E402
+from repro.experiments.engine import execute  # noqa: E402
+from repro.experiments.runner import PAPER_SHAPE, QUICK  # noqa: E402
+from repro.obs.runtime import Observation  # noqa: E402
+
+#: Bump when the snapshot layout changes.
+BENCH_SCHEMA = 1
+
+_SCALES = {"quick": QUICK, "paper-shape": PAPER_SHAPE}
+
+
+def default_suite():
+    """The recorded trajectory's measurement set: the full registry at
+    quick scale, plus the headline contended grid at paper shape."""
+    suite = [(name, "quick") for name in registry.spec_names()]
+    suite.append(("fig13", "paper-shape"))
+    return suite
+
+
+def measure(name: str, scale_name: str) -> dict:
+    """Run one experiment cold and return its perf entry.
+
+    The run goes through the engine's observation path: serial,
+    in-process, cache reads bypassed — exactly the cold single-host
+    regime the speed campaign targets.  Event counts come from each
+    cell's simulator; the observation hook itself never perturbs the
+    simulation (tables stay byte-identical, CI-enforced elsewhere).
+    """
+    sims = []
+    observation = Observation(on_system=lambda unit, system: sims.append(system.sim))
+    spec = registry.get_spec(name)
+    started = time.perf_counter()
+    report = execute([spec], _SCALES[scale_name], observation=observation)
+    wall_s = time.perf_counter() - started
+    events = sum(sim.events_dispatched for sim in sims)
+    return {
+        "experiment": spec.name,
+        "scale": scale_name,
+        "cells": report.total_cells,
+        "sims": len(sims),
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else None,
+    }
+
+
+def run_suite(suite, label: str) -> dict:
+    results = []
+    for name, scale_name in suite:
+        entry = measure(name, scale_name)
+        results.append(entry)
+        print(
+            f"[perf: {entry['experiment']}@{entry['scale']}: "
+            f"{entry['events']} events in {entry['wall_s']:.2f}s "
+            f"= {entry['events_per_sec']:,.0f} events/s]",
+            file=sys.stderr,
+        )
+    total_wall = sum(r["wall_s"] for r in results)
+    total_events = sum(r["events"] for r in results)
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "results": results,
+        "totals": {
+            "wall_s": round(total_wall, 4),
+            "events": total_events,
+            "events_per_sec": round(total_events / total_wall, 1)
+            if total_wall > 0
+            else None,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# trajectory files
+# ----------------------------------------------------------------------
+def bench_files():
+    """Recorded snapshots, ordered by sequence number."""
+    entries = []
+    for path in BENCH_DIR.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            entries.append((int(match.group(1)), path))
+    return [path for _, path in sorted(entries)]
+
+def next_bench_path() -> pathlib.Path:
+    existing = bench_files()
+    if not existing:
+        return BENCH_DIR / "BENCH_1.json"
+    last = int(re.fullmatch(r"BENCH_(\d+)\.json", existing[-1].name).group(1))
+    return BENCH_DIR / f"BENCH_{last + 1}.json"
+
+
+def write_snapshot(snapshot: dict, path: pathlib.Path) -> None:
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"[perf: snapshot -> {path}]", file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+def check_regressions(fresh: dict, baseline: dict, tolerance: float):
+    """Compare matching (experiment, scale) entries; return failure lines."""
+    recorded = {
+        (entry["experiment"], entry["scale"]): entry
+        for entry in baseline.get("results", [])
+    }
+    failures = []
+    for entry in fresh["results"]:
+        key = (entry["experiment"], entry["scale"])
+        old = recorded.get(key)
+        if old is None or not old.get("events_per_sec"):
+            continue
+        floor = old["events_per_sec"] * (1.0 - tolerance)
+        if entry["events_per_sec"] < floor:
+            failures.append(
+                f"{key[0]}@{key[1]}: {entry['events_per_sec']:,.0f} events/s "
+                f"< {floor:,.0f} (baseline {old['events_per_sec']:,.0f} "
+                f"- {tolerance:.0%})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/perf.py",
+        description="Measure events/sec and wall time per experiment.",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="experiments to measure (default: the full recorded suite)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="scale for --only measurements (default: quick)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the snapshot here instead of the next BENCH_<n>.json",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="measure and report only; write no snapshot file",
+    )
+    parser.add_argument("--label", default="", help="free-form snapshot label")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a recorded BENCH_*.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.25")),
+        help="allowed fractional events/sec loss for --check (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.only:
+        try:
+            suite = [(spec.name, args.scale) for spec in registry.resolve(args.only)]
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+    else:
+        suite = default_suite()
+
+    snapshot = run_suite(suite, args.label)
+    totals = snapshot["totals"]
+    print(
+        f"[perf: TOTAL {totals['events']} events in {totals['wall_s']:.2f}s "
+        f"= {totals['events_per_sec']:,.0f} events/s]",
+        file=sys.stderr,
+    )
+
+    if not args.no_record:
+        path = pathlib.Path(args.out) if args.out else next_bench_path()
+        write_snapshot(snapshot, path)
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(snapshot, baseline, args.tolerance)
+        for line in failures:
+            print(f"[perf: REGRESSION {line}]", file=sys.stderr)
+        verdict = "FAILED" if failures else "OK"
+        print(
+            f"[perf: check vs {args.check}: {verdict} "
+            f"({len(failures)} regressions, tolerance {args.tolerance:.0%})]",
+            file=sys.stderr,
+        )
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ def test_fig01_ycsb_breakdown(run_experiment):
 def test_fig02_component_trends(run_experiment):
     result = run_experiment("fig02")
     last = result.rows[-1]
-    assert last["year"] == 2019
+    assert last["year"] == "2019"  # years are labels, not quantities
     # Disk: tens of millions of cycles; ULL SSD: tens of thousands.
     assert last["disk_gap_cycles"] > 1e6
     assert 1e4 < last["ssd_gap_cycles"] < 1e5

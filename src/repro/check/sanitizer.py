@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
+from repro.sim.observe import SimObserver
 
 READ = "read"
 WRITE = "write"
@@ -98,7 +99,7 @@ class _Access:
         self.site = site
 
 
-class SimSanitizer:
+class SimSanitizer(SimObserver):
     """Watches shared structures for FIFO-tie-break-dependent outcomes.
 
     Wiring::
@@ -156,6 +157,13 @@ class SimSanitizer:
 
     def attach_sim(self, sim: Any) -> None:
         """Observe a bare :class:`Simulator` (tests wire structures by hand)."""
+        sim.attach(self)
+
+    def on_attach(self, sim: Any) -> None:
+        """Observer wiring (see :mod:`repro.sim.observe`): publish the
+        ``sim.sanitizer`` side-channel that model components ``note()``
+        through; the engine binds :meth:`begin_dispatch` and
+        :meth:`chain_for_new_event` from the class-level hook aliases."""
         if sim.sanitizer is not None and sim.sanitizer is not self:
             raise SimulationError("simulator already has a sanitizer attached")
         self.sim = sim
@@ -284,3 +292,8 @@ class SimSanitizer:
             dispatches=self.dispatches,
             window_overflows=self.window_overflows,
         )
+
+    # SimObserver hook bindings: the engine pre-compiles these into its
+    # dispatch/schedule fast paths at attach time.
+    on_dispatch = begin_dispatch
+    event_chain = chain_for_new_event

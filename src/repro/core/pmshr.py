@@ -12,7 +12,7 @@ contention, modelled by the SWDP cost table, not here).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import SmuError
 from repro.sim import Completion, Counter, Signal, Simulator
@@ -124,6 +124,53 @@ class Pmshr:
                 outstanding=len(self._by_pte_addr),
             )
         return entry
+
+    def lookup_or_allocate(
+        self,
+        pte_addr: int,
+        pmd_entry_addr: Optional[int],
+        pud_entry_addr: Optional[int],
+        device_id: int,
+        lba: int,
+    ) -> Tuple[Optional[PmshrEntry], bool]:
+        """Atomic CAM probe-then-claim; returns ``(entry, created)``.
+
+        ``(existing, False)`` on a hit, ``(new_entry, True)`` after
+        claiming a free slot, ``(None, False)`` when the CAM is full.
+
+        This is what the hardware does in one CAM cycle.  Split
+        ``lookup()`` + ``allocate()`` calls record two sanitizer accesses
+        from two source sites, so two same-instant misses to one page
+        read as a lookup-read vs allocate-write tie-break hazard even
+        though the outcome (exactly one allocator, the other coalesced)
+        is order-independent; the fused form is a single access from a
+        single site and cannot trip that pair.
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
+        entry = self._by_pte_addr.get(pte_addr)
+        if entry is not None:
+            self.stats.add("coalesced")
+            return entry, False
+        if not self._free_indices:
+            self.stats.add("full")
+            return None, False
+        index = self._free_indices.pop()
+        entry = PmshrEntry(
+            index, pte_addr, pmd_entry_addr, pud_entry_addr, device_id, lba, self.sim
+        )
+        self._by_pte_addr[pte_addr] = entry
+        self.stats.add("allocated")
+        sink = self.sim.trace
+        if sink is not None:
+            sink.instant(
+                "pmshr.allocate",
+                index=index,
+                pte_addr=f"{pte_addr:#x}",
+                lba=lba,
+                outstanding=len(self._by_pte_addr),
+            )
+        return entry, True
 
     def release(self, entry: PmshrEntry, pfn: Optional[int]) -> None:
         """Broadcast completion (PFN, or None for failure) and free the slot."""

@@ -62,6 +62,18 @@ class Smu:
         self.pmshr = Pmshr(sim, smu_config.pmshr_entries)
         self.host = SmuHostController(sim, smu_config, self._on_completion)
         self.updater = PageTableUpdater()
+        # Per-miss stall durations are configuration constants; computing
+        # them once (with the same expressions) keeps the values bit-equal.
+        self._request_cam_ns = self._cycles_ns(
+            smu_config.request_reg_write_cycles + smu_config.cam_lookup_cycles
+        )
+        self._notify_ns = self._cycles_ns(smu_config.notify_cycles)
+        self._completion_update_ns = (
+            self._cycles_ns(
+                smu_config.completion_unit_cycles + smu_config.entry_update_cycles
+            )
+            + smu_config.doorbell_write_ns  # CQ doorbell
+        )
         if not kernel.iter_free_queues():
             raise SmuError("HWDP kernel must provide a free-page queue")
         #: cid (PMSHR index) → in-flight context for completion routing.
@@ -143,60 +155,42 @@ class Smu:
         # Step 1-2: request registers + CAM lookup.
         if span is not None:
             segment_start = self.sim.now
-        yield from thread.stall(
-            self._cycles_ns(
-                smu_config.request_reg_write_cycles + smu_config.cam_lookup_cycles
-            )
-        )
+        yield from thread.stall(self._request_cam_ns)
         if span is not None:
             span.event(segment_start, "request_cam_lookup", self.sim.now - segment_start)
-        existing = self.pmshr.lookup(walk.pte_addr)
-        if existing is not None:
-            # Coalesced: the page-table walk goes pending until broadcast.
-            if span is not None:
-                span.outcome = obs.COALESCED
-                segment_start = self.sim.now
-            pfn = yield from thread.mwait(existing.completion)
-            if span is not None:
-                span.event(segment_start, "coalesced_wait", self.sim.now - segment_start)
-            if pfn is not None:
-                yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
-            return pfn
-
-        # The paper does not spell out full-PMSHR behaviour; like an MSHR,
-        # the walk stalls until an entry frees.
-        while self.pmshr.is_full:
-            self.pmshr.stats.add("full")
+        # One atomic probe-then-claim per attempt, all through a single
+        # call site (see Pmshr.lookup_or_allocate).  The paper does not
+        # spell out full-PMSHR behaviour; like an MSHR, the walk stalls
+        # until an entry frees.
+        while True:
+            entry, created = self.pmshr.lookup_or_allocate(
+                walk.pte_addr,
+                walk.pmd_entry_addr,
+                walk.pud_entry_addr,
+                decoded.device_id,
+                decoded.lba,
+            )
+            if entry is not None:
+                break
             if span is not None:
                 segment_start = self.sim.now
             yield from thread.mwait(self.pmshr.slot_freed)
             if span is not None:
                 span.event(segment_start, "pmshr_full_wait", self.sim.now - segment_start)
-            retry = self.pmshr.lookup(walk.pte_addr)
-            if retry is not None:
-                # Coalesced after the stall: same protocol as the primary
-                # coalesced path, including the notify-broadcast stall.
-                if span is not None:
-                    span.outcome = obs.COALESCED
-                    segment_start = self.sim.now
-                pfn = yield from thread.mwait(retry.completion)
-                if span is not None:
-                    span.event(
-                        segment_start, "coalesced_wait", self.sim.now - segment_start
-                    )
-                if pfn is not None:
-                    yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
-                return pfn
+        if not created:
+            # Coalesced: the page-table walk goes pending until broadcast.
+            if span is not None:
+                span.outcome = obs.COALESCED
+                segment_start = self.sim.now
+            pfn = yield from thread.mwait(entry.completion)
+            if span is not None:
+                span.event(segment_start, "coalesced_wait", self.sim.now - segment_start)
+            if pfn is not None:
+                yield from thread.stall(self._notify_ns)
+            return pfn
 
         if span is not None:
             span.event(self.sim.now, "pmshr_allocate")
-        entry = self.pmshr.allocate(
-            walk.pte_addr,
-            walk.pmd_entry_addr,
-            walk.pud_entry_addr,
-            decoded.device_id,
-            decoded.lba,
-        )
         pid = thread.process.pid
         sanitizer = self.sim.sanitizer
         if sanitizer is not None:
@@ -327,16 +321,10 @@ class Smu:
     def _finish_update(self, thread: Any, entry, pfn: int):
         """Steps 6-8 after the data is in memory: completion protocol,
         PTE/PMD/PUD write-back (LBA bit stays set for kpted), broadcast."""
-        smu_config = self.config.smu
         span = thread.active_span
         if span is not None:
             segment_start = self.sim.now
-        yield from thread.stall(
-            self._cycles_ns(
-                smu_config.completion_unit_cycles + smu_config.entry_update_cycles
-            )
-            + smu_config.doorbell_write_ns  # CQ doorbell
-        )
+        yield from thread.stall(self._completion_update_ns)
         self.updater.apply(
             thread.process.page_table,
             entry.pte_addr,
@@ -349,7 +337,7 @@ class Smu:
             span.event(segment_start, "completion_snoop", self.sim.now - segment_start)
             span.event(self.sim.now, "page_table_update")
             segment_start = self.sim.now
-        yield from thread.stall(self._cycles_ns(smu_config.notify_cycles))
+        yield from thread.stall(self._notify_ns)
         if span is not None:
             span.event(segment_start, "notify_broadcast", self.sim.now - segment_start)
 

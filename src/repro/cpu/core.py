@@ -46,6 +46,10 @@ class LogicalCore:
         self.mmu = Mmu(sim, self.core_id)
         self.state = CoreState.IDLE
         self.bound_thread: Optional[Any] = None
+        self._smt_share = physical.config.smt_share_factor
+        #: Sibling lanes, cached on first :meth:`smt_factor` call (the
+        #: physical core is still appending lanes while we construct).
+        self._siblings: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def bind(self, thread: Any) -> None:
@@ -64,10 +68,16 @@ class LogicalCore:
 
     def smt_factor(self) -> float:
         """Throughput multiplier from SMT contention, for this logical core."""
-        siblings_issuing = any(
-            lane.issuing for lane in self.physical.lanes if lane is not self
-        )
-        return self.physical.config.smt_share_factor if siblings_issuing else 1.0
+        siblings = self._siblings
+        if siblings is None:
+            siblings = self._siblings = tuple(
+                lane for lane in self.physical.lanes if lane is not self
+            )
+        for lane in siblings:
+            state = lane.state
+            if state is CoreState.USER or state is CoreState.KERNEL:
+                return self._smt_share
+        return 1.0
 
     @property
     def pollution(self) -> PollutionState:

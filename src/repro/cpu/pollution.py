@@ -27,30 +27,41 @@ from typing import Dict
 
 from repro.config import CpuConfig
 
+_exp = math.exp
+
 
 class PollutionState:
-    """Pollution scalar for one physical core."""
+    """Pollution scalar for one physical core.
+
+    The config constants are mirrored into instance floats at build time:
+    :meth:`decay` and :meth:`add_kernel_work` run once per compute quantum
+    / kernel phase, and the dataclass attribute chain costs real time at
+    that frequency.
+    """
 
     def __init__(self, config: CpuConfig):
         self.config = config
         self.value = 0.0
+        self._saturation_instr = config.pollution_saturation_instr
+        self._decay_instr = config.pollution_decay_instr
+        self._ipc_penalty = config.pollution_ipc_penalty
 
     def add_kernel_work(self, instructions: float) -> None:
         """Kernel execution pushes pollution toward saturation."""
         if instructions <= 0:
             return
-        gain = 1.0 - math.exp(-instructions / self.config.pollution_saturation_instr)
+        gain = 1.0 - _exp(-instructions / self._saturation_instr)
         self.value += (1.0 - self.value) * gain
 
     def decay(self, user_instructions: float) -> None:
         """User execution gradually re-warms user state."""
         if user_instructions <= 0:
             return
-        self.value *= math.exp(-user_instructions / self.config.pollution_decay_instr)
+        self.value *= _exp(-user_instructions / self._decay_instr)
 
     def ipc_factor(self) -> float:
         """Multiplier on user IPC under the current pollution."""
-        return 1.0 - self.config.pollution_ipc_penalty * self.value
+        return 1.0 - self._ipc_penalty * self.value
 
     def miss_rate(self, event: str) -> float:
         """User-level misses of ``event`` kind per kilo-instruction."""

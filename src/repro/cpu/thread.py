@@ -35,6 +35,14 @@ from repro.sim import Delay, Signal, Simulator, WaitSignal
 #: sampled every few microseconds, large enough to keep event counts low.
 COMPUTE_QUANTUM = 20_000
 
+#: Enum members bound as module locals: the execution primitives below set
+#: core state once or twice per event, where the class-attribute chain
+#: shows up in profiles.
+_IDLE = CoreState.IDLE
+_USER = CoreState.USER
+_KERNEL = CoreState.KERNEL
+_STALLED = CoreState.STALLED
+
 
 class ThreadContext:
     """One software thread pinned to one logical core."""
@@ -69,6 +77,22 @@ class ThreadContext:
         self.active_span = None
         core.bind(self)
         self.finished = False
+        # -- hot-path caches (values are fixed for the thread's lifetime) --
+        self._freq = cpu.freq_ghz
+        self._kernel_ipc = cpu.kernel_ipc
+        #: ``(event, base_rate, pollution_sensitivity)`` rows mirroring the
+        #: config dicts, so the per-quantum miss-event loop needs no dict
+        #: lookups (iteration order matches the config dict's).
+        self._miss_tuples = tuple(
+            (event, cpu.miss_rates_per_kinstr[event], cpu.miss_pollution_sensitivity[event])
+            for event in cpu.miss_rates_per_kinstr
+        )
+        self._process_kernel = getattr(process, "kernel", None)
+        #: Reusable Delay command.  The process layer copies ``ns`` out of
+        #: a yielded Delay synchronously at the yield point, so a single
+        #: mutable instance per thread is safe and saves an allocation per
+        #: compute quantum / kernel phase.
+        self._delay = Delay(0.0)
 
     # ------------------------------------------------------------------
     # user execution
@@ -78,39 +102,48 @@ class ThreadContext:
         if instructions < 0:
             raise SimulationError(f"negative instruction count {instructions}")
         remaining = float(instructions)
+        core = self.core
+        pollution = core.pollution
+        perf = self.perf
+        miss_events = perf.miss_events
+        miss_tuples = self._miss_tuples
+        freq = self._freq
+        penalty = pollution._ipc_penalty
+        # ``base * scale`` is the constant prefix of the IPC product; the
+        # association ``((base * scale) * pollution) * smt`` matches the
+        # original left-to-right fold bit for bit.
+        scaled_base_ipc = self.cpu.base_user_ipc * self.ipc_scale
+        delay = self._delay
         while remaining > 0:
             chunk = min(remaining, COMPUTE_QUANTUM)
-            pollution = self.core.pollution
-            ipc = (
-                self.cpu.base_user_ipc
-                * self.ipc_scale
-                * pollution.ipc_factor()
-                * self.core.smt_factor()
-            )
+            ipc = scaled_base_ipc * (1.0 - penalty * pollution.value) * core.smt_factor()
             cycles = chunk / ipc
-            self.core.state = CoreState.USER
-            yield Delay(self.cpu.cycles_to_ns(cycles))
-            self.perf.user_instructions += chunk
-            self.perf.user_cycles += cycles
+            core.state = _USER
+            delay.ns = cycles / freq
+            yield delay
+            perf.user_instructions += chunk
+            perf.user_cycles += cycles
             kilo = chunk / 1000.0
-            for event in self.cpu.miss_rates_per_kinstr:
-                self.perf.miss_events[event] += kilo * pollution.miss_rate(event)
+            value = pollution.value
+            for event, base, sensitivity in miss_tuples:
+                miss_events[event] += kilo * (base * (1.0 + sensitivity * value))
             pollution.decay(chunk)
             remaining -= chunk
-        self.core.state = CoreState.IDLE
+        core.state = _IDLE
 
     # ------------------------------------------------------------------
     # memory access
     # ------------------------------------------------------------------
     def mem_access(self, vaddr: int, is_write: bool = False) -> Generator[Any, Any, Any]:
         """One load/store; returns the MMU's :class:`Translation`."""
-        previous_state = self.core.state
+        core = self.core
+        previous_state = core.state
         # While the walker/SMU works, the pipeline is stalled, not issuing.
-        self.core.state = CoreState.STALLED
-        translation = yield from self.core.mmu.translate(self, vaddr, is_write)
-        self.core.state = previous_state
+        core.state = _STALLED
+        translation = yield from core.mmu.translate(self, vaddr, is_write)
+        core.state = previous_state
         self.perf.record_translation(translation.kind.value, translation.miss_latency_ns)
-        kernel = getattr(self.process, "kernel", None)
+        kernel = self._process_kernel
         if kernel is not None:
             # Models the hardware access/dirty bits the OS samples: walks
             # (TLB misses) refresh LRU recency, writes mark pages dirty.
@@ -128,41 +161,48 @@ class ThreadContext:
             self.phase_trace.append((self.sim.now, name, ns))
         if self.active_span is not None:
             self.active_span.event(self.sim.now, name, ns)
-        self.core.state = CoreState.KERNEL
-        yield Delay(ns)
-        instructions = self.cpu.kernel_ns_to_instructions(ns)
-        self.perf.kernel_instructions += instructions
-        self.perf.kernel_cycles += self.cpu.ns_to_cycles(ns)
-        self.core.pollution.add_kernel_work(instructions)
-        self.core.state = CoreState.STALLED
+        core = self.core
+        core.state = _KERNEL
+        delay = self._delay
+        delay.ns = ns
+        yield delay
+        cycles = ns * self._freq
+        instructions = cycles * self._kernel_ipc
+        perf = self.perf
+        perf.kernel_instructions += instructions
+        perf.kernel_cycles += cycles
+        core.pollution.add_kernel_work(instructions)
+        core.state = _STALLED
 
     def block(self, signal: Signal) -> Generator[Any, Any, Any]:
         """Context-switched out until ``signal`` fires; core goes IDLE."""
-        self.core.state = CoreState.IDLE
+        self.core.state = _IDLE
         blocked_at = self.sim.now
         value = yield WaitSignal(signal)
-        self.perf.blocked_cycles += self.cpu.ns_to_cycles(self.sim.now - blocked_at)
-        self.core.state = CoreState.STALLED
+        self.perf.blocked_cycles += (self.sim.now - blocked_at) * self._freq
+        self.core.state = _STALLED
         return value
 
     def mwait(self, signal: Signal) -> Generator[Any, Any, Any]:
         """monitor/mwait-style wait: the core halts (STALLED, not issuing)
         until the watched memory is written — the SW-emulated SMU's
         completion wait (paper §VI-A)."""
-        self.core.state = CoreState.STALLED
+        self.core.state = _STALLED
         waited_from = self.sim.now
         value = yield WaitSignal(signal)
-        self.perf.stall_cycles += self.cpu.ns_to_cycles(self.sim.now - waited_from)
-        self.core.state = CoreState.STALLED
+        self.perf.stall_cycles += (self.sim.now - waited_from) * self._freq
+        self.core.state = _STALLED
         return value
 
     def stall(self, ns: float) -> Generator[Any, Any, None]:
         """Pipeline-stalled delay (hardware miss handling wait)."""
         if ns <= 0:
             return
-        self.core.state = CoreState.STALLED
-        yield Delay(ns)
-        self.perf.stall_cycles += self.cpu.ns_to_cycles(ns)
+        self.core.state = _STALLED
+        delay = self._delay
+        delay.ns = ns
+        yield delay
+        self.perf.stall_cycles += ns * self._freq
 
     # ------------------------------------------------------------------
     def note_operation(self, count: int = 1) -> None:

@@ -2,10 +2,16 @@
 
 Importing this package populates :mod:`repro.experiments.registry` with
 every spec (the import order below fixes the default execution order).
-The :mod:`repro.experiments.engine` executor runs specs serially or across
-processes with cell-level caching; each module also keeps a thin
-``run(scale) -> ExperimentResult`` shim delegating to the engine, so
-legacy imports keep working.
+
+The stable public API is registry + engine:
+
+* :func:`get_spec` / :func:`all_specs` / :func:`spec_names` /
+  :func:`resolve` — look up registered experiments (``resolve`` also
+  expands group names like ``ablations``);
+* :func:`execute` — run any mix of specs with cell-level caching,
+  ``jobs`` process fan-out, and an optional observation config;
+  :func:`run_spec` / :func:`run_specs` are thin conveniences over it;
+* :class:`ExperimentResult` — the rendered table each merge returns.
 
 ``run_all`` executes the full evaluation and returns every result; the
 ``python -m repro.experiments`` entry point prints them.
@@ -15,29 +21,32 @@ from typing import List
 
 # Import order fixes registration order: figures/tables in paper order,
 # then the beyond-paper analyses, then the ablations group.
-from repro.experiments import fig01_motivation
-from repro.experiments import fig02_trends
-from repro.experiments import fig03_fault_breakdown
-from repro.experiments import fig04_pollution_osdp
-from repro.experiments import table1_semantics
-from repro.experiments import fig11_single_fault
-from repro.experiments import fig12_latency
-from repro.experiments import fig13_throughput
-from repro.experiments import fig14_pollution_hwdp
-from repro.experiments import fig15_kernel_cost
-from repro.experiments import fig16_smt
-from repro.experiments import fig17_sw_vs_hw
-from repro.experiments import area_overhead
-from repro.experiments import tail_latency
-from repro.experiments import variance
-from repro.experiments import resilience
-from repro.experiments import ablations
+from repro.experiments import fig01_motivation  # noqa: F401
+from repro.experiments import fig02_trends  # noqa: F401
+from repro.experiments import fig03_fault_breakdown  # noqa: F401
+from repro.experiments import fig04_pollution_osdp  # noqa: F401
+from repro.experiments import table1_semantics  # noqa: F401
+from repro.experiments import fig11_single_fault  # noqa: F401
+from repro.experiments import fig12_latency  # noqa: F401
+from repro.experiments import fig13_throughput  # noqa: F401
+from repro.experiments import fig14_pollution_hwdp  # noqa: F401
+from repro.experiments import fig15_kernel_cost  # noqa: F401
+from repro.experiments import fig16_smt  # noqa: F401
+from repro.experiments import fig17_sw_vs_hw  # noqa: F401
+from repro.experiments import area_overhead  # noqa: F401
+from repro.experiments import tail_latency  # noqa: F401
+from repro.experiments import variance  # noqa: F401
+from repro.experiments import resilience  # noqa: F401
+from repro.experiments import ablations  # noqa: F401
+from repro.experiments.engine import execute, run_spec, run_specs
 from repro.experiments.registry import (
     Cell,
     ExperimentSpec,
     all_specs,
     get_spec,
+    groups,
     register,
+    resolve,
     spec_names,
 )
 from repro.experiments.runner import (
@@ -47,37 +56,13 @@ from repro.experiments.runner import (
     ExperimentScale,
 )
 
-#: Legacy name -> ``run(scale)`` entrypoint (kept for back-compat; the
-#: registry is the canonical index now).
-ALL_EXPERIMENTS = {
-    "fig01": fig01_motivation.run,
-    "fig02": fig02_trends.run,
-    "fig03": fig03_fault_breakdown.run,
-    "fig04": fig04_pollution_osdp.run,
-    "table1": table1_semantics.run,
-    "fig11": fig11_single_fault.run,
-    "fig12": fig12_latency.run,
-    "fig13": fig13_throughput.run,
-    "fig14": fig14_pollution_hwdp.run,
-    "fig15": fig15_kernel_cost.run,
-    "fig16": fig16_smt.run,
-    "fig17": fig17_sw_vs_hw.run,
-    "area": area_overhead.run,
-    "tail": tail_latency.run,
-    "variance": variance.run,
-    "resilience": resilience.run,
-}
-
 
 def run_all(scale: ExperimentScale = QUICK, jobs: int = 1) -> List[ExperimentResult]:
     """Run every figure/table plus the ablations."""
-    from repro.experiments.engine import run_specs
-
     return run_specs(all_specs(), scale, jobs=jobs)
 
 
 __all__ = [
-    "ALL_EXPERIMENTS",
     "run_all",
     "QUICK",
     "PAPER_SHAPE",
@@ -86,7 +71,12 @@ __all__ = [
     "ExperimentSpec",
     "Cell",
     "register",
+    "resolve",
+    "groups",
     "get_spec",
     "all_specs",
     "spec_names",
+    "execute",
+    "run_spec",
+    "run_specs",
 ]

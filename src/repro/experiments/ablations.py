@@ -450,47 +450,3 @@ ALL_ABLATION_SPECS = (
     TIMEOUT_SPEC,
     KPTED_SPEC,
 )
-
-
-# ----------------------------------------------------------------------
-# back-compat shims
-# ----------------------------------------------------------------------
-def _run_one(spec: ExperimentSpec, scale: ExperimentScale) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(spec, scale)
-
-
-def run_kpoold_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(KPOOLD_SPEC, scale)
-
-
-def run_pmshr_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(PMSHR_SPEC, scale)
-
-
-def run_queue_depth_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(QUEUE_DEPTH_SPEC, scale)
-
-
-def run_prefetch_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(PREFETCH_SPEC, scale)
-
-
-def run_readahead_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(READAHEAD_SPEC, scale)
-
-
-def run_timeout_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(TIMEOUT_SPEC, scale)
-
-
-def run_kpted_ablation(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    return _run_one(KPTED_SPEC, scale)
-
-
-def run(scale: ExperimentScale = QUICK) -> List[ExperimentResult]:
-    """All ablations, as a list of results."""
-    from repro.experiments.engine import run_specs
-
-    return run_specs(ALL_ABLATION_SPECS, scale)

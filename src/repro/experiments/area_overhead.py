@@ -15,7 +15,7 @@ from typing import Dict, List
 from repro.config import SmuConfig
 from repro.core.area import XEON_E5_2640V3_DIE_MM2, estimate_area
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 
 TITLE = "SMU area overhead (22nm, McPAT-calibrated)"
 
@@ -92,9 +92,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="area", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

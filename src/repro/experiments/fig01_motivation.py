@@ -17,7 +17,7 @@ from typing import Dict, List
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
 RATIOS = (1.0, 2.0, 4.0, 8.0)
@@ -79,9 +79,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="fig01", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 
 #: (year, cpu_cycle_ns, dram_access_ns, disk_access_us, ssd_access_us)
 #: CPU/DRAM/disk columns follow CS:APP 3e table 6.15 (paper citation [14]);
@@ -89,9 +89,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="fig02", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

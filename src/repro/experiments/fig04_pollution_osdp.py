@@ -17,7 +17,7 @@ from typing import Dict, List
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, aggregate_perf
+from repro.experiments.runner import ExperimentResult, ExperimentScale, aggregate_perf
 from repro.experiments.workload_runs import run_kv_workload
 
 #: Dataset fills this fraction of memory (must fit for MAP_POPULATE).
@@ -98,9 +98,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="fig04", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
 WORKLOADS = ("fio", "dbbench", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-f")
@@ -87,13 +87,3 @@ SPEC = register(
         name="fig13", title=TITLE, cells=_make_cells, cell_fn=_cell, merge=_merge
     )
 )
-
-
-def run(
-    scale: ExperimentScale = QUICK,
-    workloads: Sequence[str] = WORKLOADS,
-    thread_counts: Sequence[int] = None,
-) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale, cells=_make_cells(scale, workloads, thread_counts))

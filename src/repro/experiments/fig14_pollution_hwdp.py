@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, aggregate_perf
+from repro.experiments.runner import ExperimentResult, ExperimentScale, aggregate_perf
 from repro.experiments.workload_runs import run_kv_workload
 
 _EVENTS = ("l1d_miss", "l2_miss", "llc_miss", "branch_miss")
@@ -92,9 +92,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="fig14", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

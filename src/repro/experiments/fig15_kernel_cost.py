@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
 TITLE = "kernel-context retired instructions and cycles per operation"
@@ -109,9 +109,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="fig15", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

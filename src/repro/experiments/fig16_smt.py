@@ -20,7 +20,7 @@ from typing import Dict, List, Sequence
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale, build
+from repro.experiments.runner import ExperimentResult, ExperimentScale, build
 from repro.workloads.fio import FioRandomRead
 from repro.workloads.spec import SpecCompute
 
@@ -100,11 +100,3 @@ SPEC = register(
         name="fig16", title=TITLE, cells=_make_cells, cell_fn=_cell, merge=_merge
     )
 )
-
-
-def run(
-    scale: ExperimentScale = QUICK, kernels: Sequence[str] = DEFAULT_KERNELS
-) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale, cells=_make_cells(scale, kernels))

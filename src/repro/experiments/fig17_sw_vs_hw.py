@@ -98,9 +98,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="fig17", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

@@ -187,9 +187,3 @@ SPEC = register(
         aliases=("faults",),
     )
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

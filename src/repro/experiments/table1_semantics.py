@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import ExperimentResult, ExperimentScale, QUICK
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.vm.pte import (
     LBA_BIT,
     PteStatus,
@@ -88,9 +88,3 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 SPEC = register(
     ExperimentSpec(name="table1", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

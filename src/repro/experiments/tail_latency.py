@@ -15,7 +15,7 @@ from typing import Dict, List
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 
 _WORKLOADS = ("fio", "ycsb-c")
@@ -91,9 +91,3 @@ SPEC = register(
         aliases=("tail",),
     )
 )
-
-
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale)

@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence
 
 from repro.config import PagingMode
 from repro.experiments.registry import Cell, ExperimentSpec, register
-from repro.experiments.runner import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.experiments.workload_runs import run_kv_workload
 from repro.sim import StatAccumulator
 
@@ -92,13 +92,3 @@ SPEC = register(
         merge=_merge,
     )
 )
-
-
-def run(
-    scale: ExperimentScale = QUICK,
-    workloads: Sequence[str] = DEFAULT_WORKLOADS,
-    seeds: Sequence[int] = DEFAULT_SEEDS,
-) -> ExperimentResult:
-    from repro.experiments.engine import run_spec
-
-    return run_spec(SPEC, scale, cells=_make_cells(scale, workloads, seeds))

@@ -26,10 +26,16 @@ class Observation:
         trace: Optional[TraceSink] = None,
         metrics: bool = False,
         sanitize: bool = False,
+        on_system: Optional[Any] = None,
     ):
         #: Sink receiving spans/instants from every simulator built while
         #: this observation is active; ``None`` disables span tracing.
         self.trace = trace
+        #: Optional ``callback(unit_label, system)`` invoked for every
+        #: system built under this observation — the hook the perf harness
+        #: uses to reach each cell's simulator (event counts) without
+        #: paying for tracing or metrics collection.
+        self.on_system = on_system
         #: When true, keep a reference to every built system's registry so
         #: the CLI can dump metrics after the run.
         self.collect_metrics = metrics
@@ -101,3 +107,5 @@ def observe_system(system: Any) -> None:
         if registry is None:
             registry = system_metrics(system, label=unit)
         observation.registries.append((unit, registry))
+    if observation.on_system is not None:
+        observation.on_system(unit, system)

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.sim.observe import SimObserver
+
 #: One typed span event: ``(sim_time_ns, name, duration_ns)`` — the same
 #: shape as :data:`repro.analysis.phases.PhaseEvent`, so span events feed
 #: :func:`repro.analysis.phases.aggregate_phases` directly.
@@ -137,7 +139,7 @@ class InstantEvent:
         }
 
 
-class TraceSink:
+class TraceSink(SimObserver):
     """Collects miss spans and instant events from one or more simulations.
 
     One sink can observe several sequential simulations (the experiments
@@ -161,12 +163,23 @@ class TraceSink:
     # wiring
     # ------------------------------------------------------------------
     def attach(self, sim: Any, unit: Optional[str] = None) -> None:
-        """Observe ``sim``; subsequent spans carry the ``unit`` label."""
-        self._sim = sim
+        """Observe ``sim``; subsequent spans carry the ``unit`` label.
+
+        Registration goes through the unified :meth:`Simulator.attach`
+        observer door; :meth:`on_attach` does the engine-side wiring.
+        """
         if unit is None:
             unit = f"sim-{len(self.units)}"
         self._unit = unit
         self.units.append(unit)
+        sim.attach(self)
+
+    def on_attach(self, sim: Any) -> None:
+        """Publish the ``sim.trace`` side-channel model components emit
+        through.  The sink defines no per-dispatch hook — recording is
+        driven entirely by component emission sites, so attaching a sink
+        leaves the engine's dispatch fast path untouched."""
+        self._sim = sim
         sim.trace = self
 
     # ------------------------------------------------------------------

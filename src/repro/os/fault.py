@@ -318,13 +318,31 @@ class PageFaultHandler:
             span.path = obs.PATH_SWDP
         walk = thread.process.page_table.walk(vaddr)
 
-        existing = pmshr.lookup(walk.pte_addr)
-        if existing is not None:
+        # Atomic probe-then-claim through one call site (the emulated PMSHR
+        # is the same structure the hardware fuses into one CAM cycle).
+        while True:
+            entry, created = pmshr.lookup_or_allocate(
+                walk.pte_addr,
+                walk.pmd_entry_addr,
+                walk.pud_entry_addr,
+                decoded.device_id,
+                decoded.lba,
+            )
+            if entry is not None:
+                break
+            kernel.counters.add("fault.swdp_pmshr_full")
+            if span is not None:
+                waited_from = self.sim.now
+            yield from thread.mwait(pmshr.slot_freed)
+            if span is not None:
+                span.event(waited_from, "pmshr_full_wait", self.sim.now - waited_from)
+
+        if not created:
             kernel.counters.add("fault.swdp_coalesced")
             if span is not None:
                 span.outcome = obs.COALESCED
                 waited_from = self.sim.now
-            pfn = yield from thread.mwait(existing.completion)
+            pfn = yield from thread.mwait(entry.completion)
             if span is not None:
                 span.event(waited_from, "coalesced_wait", self.sim.now - waited_from)
             if pfn is None:  # leader failed over to the OS path
@@ -334,23 +352,6 @@ class PageFaultHandler:
                 return pfn
             yield from thread.kernel_phase(self.sw_costs.emu_complete_ns / 2, "emu_tail")
             return pfn
-
-        while pmshr.is_full:
-            kernel.counters.add("fault.swdp_pmshr_full")
-            pmshr.stats.add("full")
-            if span is not None:
-                waited_from = self.sim.now
-            yield from thread.mwait(pmshr.slot_freed)
-            if span is not None:
-                span.event(waited_from, "pmshr_full_wait", self.sim.now - waited_from)
-
-        entry = pmshr.allocate(
-            walk.pte_addr,
-            walk.pmd_entry_addr,
-            walk.pud_entry_addr,
-            decoded.device_id,
-            decoded.lba,
-        )
         pop = kernel.free_queue_for(thread.core.core_id).pop()
         if pop.empty:
             # Paper §IV-D: fail to the OS handler, which also refills.

@@ -72,11 +72,14 @@ class Signal:
     def fire(self, value: Any = None) -> None:
         """Wake all current waiters, delivering ``value``."""
         self.fire_count += 1
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            # Resume via a zero-delay event to preserve run-to-completion
-            # semantics of the currently executing process.
-            self.sim.schedule(0.0, process._resume, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            schedule = self.sim.schedule_transient
+            for process in waiters:
+                # Resume via a zero-delay event to preserve run-to-completion
+                # semantics of the currently executing process.
+                schedule(0.0, process._resume_cb, value)
 
     @property
     def waiter_count(self) -> int:
@@ -99,7 +102,13 @@ class Completion(Signal):
     __slots__ = ("done", "value")
 
     def __init__(self, sim: Simulator, name: str = "completion"):
-        super().__init__(sim, name)
+        # Field assignments inlined (not super().__init__): completions
+        # are minted per contended resource wait, making construction one
+        # of the model's hottest allocations.
+        self.sim = sim
+        self.name = name
+        self._waiters = []
+        self.fire_count = 0
         self.done = False
         self.value: Any = None
 
@@ -108,11 +117,17 @@ class Completion(Signal):
             raise SimulationError(f"completion {self.name} fired twice")
         self.done = True
         self.value = value
-        super().fire(value)
+        self.fire_count += 1
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            schedule = self.sim.schedule_transient
+            for process in waiters:
+                schedule(0.0, process._resume_cb, value)
 
     def _add_waiter(self, process: "Process") -> None:
         if self.done:
-            self.sim.schedule(0.0, process._resume, self.value)
+            self.sim.schedule_transient(0.0, process._resume_cb, self.value)
         else:
             super()._add_waiter(process)
 
@@ -144,6 +159,8 @@ class Process:
         "result",
         "_joiners",
         "_pending_event",
+        "_resume_cb",
+        "on_finish",
     )
 
     def __init__(self, sim: Simulator, body: ProcessBody, name: str):
@@ -154,29 +171,57 @@ class Process:
         self.result: Any = None
         self._joiners: List["Process"] = []
         self._pending_event: Optional[ScheduledEvent] = None
+        #: ``self._resume`` bound once: every wake-up of this process
+        #: reuses the same bound method instead of materialising a new
+        #: one per event (the process layer's hottest allocation).
+        self._resume_cb = self._resume
+        #: Optional ``callable(process)`` invoked synchronously inside
+        #: ``_finish`` — no event is scheduled, so registering one cannot
+        #: perturb dispatch order.  :meth:`repro.core.system.System.run`
+        #: uses it to count down outstanding workload processes.
+        self.on_finish: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def _start(self) -> None:
         self._resume(None)
 
     def _resume(self, value: Any) -> None:
-        """Advance the generator until it yields the next command."""
+        """Advance the generator until it yields the next command.
+
+        The command dispatch below mirrors :meth:`_dispatch` (kept for
+        the interrupt path); it is inlined here because this method runs
+        for nearly every event in a simulation.
+        """
         self._pending_event = None
         try:
             command = self._body.send(value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        self._dispatch(command)
+        cls = command.__class__
+        if cls is Delay:
+            self._pending_event = self.sim.schedule_transient(
+                command.ns, self._resume_cb, None
+            )
+        elif cls is WaitSignal:
+            command.signal._add_waiter(self)
+        else:
+            self._dispatch_slow(command)
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Delay):
-            self._pending_event = self.sim.schedule(command.ns, self._resume, None)
+            self._pending_event = self.sim.schedule_transient(
+                command.ns, self._resume_cb, None
+            )
         elif isinstance(command, WaitSignal):
             command.signal._add_waiter(self)
-        elif isinstance(command, Process):
+        else:
+            self._dispatch_slow(command)
+
+    def _dispatch_slow(self, command: Any) -> None:
+        if isinstance(command, Process):
             if command.finished:
-                self.sim.schedule(0.0, self._resume, command.result)
+                self.sim.schedule_transient(0.0, self._resume_cb, command.result)
             else:
                 command._joiners.append(self)
         else:
@@ -187,9 +232,14 @@ class Process:
     def _finish(self, result: Any) -> None:
         self.finished = True
         self.result = result
-        joiners, self._joiners = self._joiners, []
-        for joiner in joiners:
-            self.sim.schedule(0.0, joiner._resume, result)
+        joiners = self._joiners
+        if joiners:
+            self._joiners = []
+            schedule = self.sim.schedule_transient
+            for joiner in joiners:
+                schedule(0.0, joiner._resume_cb, result)
+        if self.on_finish is not None:
+            self.on_finish(self)
 
     # ------------------------------------------------------------------
     def interrupt(self) -> None:
@@ -259,5 +309,5 @@ def spawn(sim: Simulator, body: ProcessBody, name: str = "process") -> Process:
     spawner continues to run to completion first.
     """
     process = Process(sim, body, name)
-    sim.schedule(0.0, process._start)
+    sim.schedule_transient(0.0, process._start)
     return process

@@ -38,6 +38,7 @@ class Mutex:
     def __init__(self, sim: Simulator, name: str = "mutex"):
         self.sim = sim
         self.name = name
+        self._ticket_name = f"{name}-ticket"
         self._locked = False
         self._waiters: Deque[Completion] = deque()
         #: Total number of acquisitions that had to wait (contention metric).
@@ -52,7 +53,7 @@ class Mutex:
             self._locked = True
             return
         self.contended_acquires += 1
-        ticket = Completion(self.sim, f"{self.name}-ticket")
+        ticket = Completion(self.sim, self._ticket_name)
         self._waiters.append(ticket)
         yield WaitSignal(ticket)
 
@@ -81,6 +82,10 @@ class Server:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._ticket_name = f"{name}-ticket"
+        #: Reusable Delay command (its ``ns`` is copied out synchronously
+        #: at the yield point, so one instance per station is safe).
+        self._delay = Delay(0.0)
         self._busy = 0
         self._waiters: Deque[Completion] = deque()
         #: Aggregate busy time across all servers (for utilisation).
@@ -98,16 +103,18 @@ class Server:
 
     def service(self, duration: Union[float, Callable[[], float]]) -> Generator[Any, Any, None]:
         """Occupy one server for ``duration`` ns (callable → sampled at start)."""
-        enqueue_time = self.sim.now
         if self._busy >= self.capacity:
-            ticket = Completion(self.sim, f"{self.name}-ticket")
+            enqueue_time = self.sim.now
+            ticket = Completion(self.sim, self._ticket_name)
             self._waiters.append(ticket)
             yield WaitSignal(ticket)
+            self.total_queue_wait_ns += self.sim.now - enqueue_time
         self._busy += 1
-        self.total_queue_wait_ns += self.sim.now - enqueue_time
         service_time = duration() if callable(duration) else duration
+        delay = self._delay
+        delay.ns = service_time
         try:
-            yield Delay(service_time)
+            yield delay
         finally:
             self._busy -= 1
             self.busy_time_ns += service_time
@@ -134,6 +141,8 @@ class FifoChannel:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = f"{name}-put"
+        self._get_name = f"{name}-get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Completion] = deque()
         self._putters: Deque[Completion] = deque()
@@ -158,7 +167,7 @@ class FifoChannel:
     def put(self, item: Any) -> Generator[Any, Any, None]:
         """Blocking put (only blocks when the channel is bounded and full)."""
         if self.capacity is not None and len(self._items) >= self.capacity:
-            ticket = Completion(self.sim, f"{self.name}-put")
+            ticket = Completion(self.sim, self._put_name)
             self._putters.append(ticket)
             yield WaitSignal(ticket)
         if self._sanitizer is not None:
@@ -180,7 +189,7 @@ class FifoChannel:
     def get(self) -> Generator[Any, Any, Any]:
         """Blocking get."""
         while not self._items:
-            ticket = Completion(self.sim, f"{self.name}-get")
+            ticket = Completion(self.sim, self._get_name)
             self._getters.append(ticket)
             yield WaitSignal(ticket)
         return self.try_get()

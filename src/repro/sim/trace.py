@@ -121,6 +121,9 @@ class Counter:
         self._counts: Dict[str, int] = defaultdict(int)
 
     def add(self, name: str, amount: int = 1) -> None:
+        if type(amount) is int:  # the overwhelmingly common case
+            self._counts[name] += amount
+            return
         value = int(amount)
         if value != amount:
             raise ValueError(

@@ -23,14 +23,20 @@ class DeviceLatencyModel:
     def __init__(self, config: DeviceConfig, rng: np.random.Generator):
         self.config = config
         self.rng = rng
+        # Hot-path caches: one sample per NVMe command.
+        self._sigma = config.latency_sigma
+        self._read_ns = config.read_latency_ns
+        self._write_ns = config.write_latency_ns
+        self._interference = config.write_interference
+        self._lognormal = rng.lognormal
 
     def _sample(self, mean_ns: float) -> float:
-        sigma = self.config.latency_sigma
+        sigma = self._sigma
         if sigma <= 0:
             return mean_ns
         # Lognormal with median = mean_ns; at the small sigmas used the
         # distribution mean is within 0.1 % of mean_ns.
-        return float(mean_ns * self.rng.lognormal(0.0, sigma))
+        return float(mean_ns * self._lognormal(0.0, sigma))
 
     def read_service_ns(self, write_occupancy: float = 0.0) -> float:
         """Service time of one 4 KB read.
@@ -38,9 +44,9 @@ class DeviceLatencyModel:
         ``write_occupancy`` is the fraction of device slots currently busy
         with writes; reads are inflated by ``write_interference`` times it.
         """
-        inflation = 1.0 + self.config.write_interference * max(0.0, min(1.0, write_occupancy))
-        return self._sample(self.config.read_latency_ns) * inflation
+        inflation = 1.0 + self._interference * max(0.0, min(1.0, write_occupancy))
+        return self._sample(self._read_ns) * inflation
 
     def write_service_ns(self) -> float:
         """Service time of one 4 KB write."""
-        return self._sample(self.config.write_latency_ns)
+        return self._sample(self._write_ns)

@@ -168,6 +168,8 @@ class NVMeDevice:
         self.name = name or config.name
         self.latency_model = DeviceLatencyModel(config, rng)
         self._server = Server(sim, capacity=config.parallel_ops, name=f"{self.name}-srv")
+        self._cmd_name = f"{self.name}-cmd"
+        self._parallel_ops = float(config.parallel_ops)
         self._writes_in_service = 0
         self._qid_counter = itertools.count(1)
         self.queue_pairs: Dict[int, QueuePair] = {}
@@ -234,15 +236,15 @@ class NVMeDevice:
                 nsid=command.nsid,
                 lba=command.lba,
             )
-        spawn(self.sim, self._execute(qp, command), f"{self.name}-cmd")
+        spawn(self.sim, self._execute(qp, command), self._cmd_name)
 
     def _service_time(self, command: NVMeCommand) -> float:
-        if command.is_write:
+        if command.opcode is NVMeOpcode.WRITE:
             self._writes_in_service += 1
             duration = self.latency_model.write_service_ns()
             self.sim.schedule(duration, self._write_done)
         else:
-            occupancy = self._writes_in_service / self.config.parallel_ops
+            occupancy = self._writes_in_service / self._parallel_ops
             duration = self.latency_model.read_service_ns(occupancy)
         return duration
 
@@ -263,21 +265,22 @@ class NVMeDevice:
         qp.outstanding -= 1
         qp.completed += 1
         qp.slot_freed.fire(qp)
-        if not command.ok:
+        status = command.status
+        if status is not NVMeStatus.SUCCESS:
             # Failed commands are tallied separately and excluded from the
             # device-time statistics (they would skew the latency tables).
-            if command.status is NVMeStatus.COMMAND_TIMEOUT:
+            if status is NVMeStatus.COMMAND_TIMEOUT:
                 self.timeouts += 1
-            elif command.is_write:
+            elif command.opcode is NVMeOpcode.WRITE:
                 self.write_errors += 1
             else:
                 self.read_errors += 1
-        elif command.is_write:
+        elif command.opcode is NVMeOpcode.WRITE:
             self.writes_completed += 1
-            self.write_device_time.add(command.device_time_ns)
+            self.write_device_time.add(command.complete_time_ns - command.submit_time_ns)
         else:
             self.reads_completed += 1
-            self.read_device_time.add(command.device_time_ns)
+            self.read_device_time.add(command.complete_time_ns - command.submit_time_ns)
         sink = self.sim.trace
         if sink is not None:
             sink.instant(

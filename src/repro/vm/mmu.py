@@ -25,7 +25,14 @@ from repro.errors import ProtectionFault, SimulationError
 from repro.mem.address import PAGE_SHIFT
 from repro.sim import Delay, Simulator
 from repro.vm.page_table import WalkResult
-from repro.vm.pte import PteStatus, decode_pte
+from repro.vm.pte import (
+    PFN_MASK,
+    PFN_SHIFT,
+    PRESENT_BIT,
+    WRITABLE_BIT,
+    PteStatus,
+    decode_pte,
+)
 from repro.vm.tlb import Tlb
 
 
@@ -39,7 +46,7 @@ class TranslationKind(enum.Enum):
     OS_FAULT = "os-fault"
 
 
-@dataclass
+@dataclass(slots=True)
 class Translation:
     """Result of one translation."""
 
@@ -64,6 +71,9 @@ class Mmu:
         self.sim = sim
         self.core_id = core_id
         self.tlb = Tlb(tlb_entries)
+        #: Reusable walk-latency Delay (its ``ns`` never changes and the
+        #: process layer consumes yielded Delays synchronously).
+        self._walk_delay = Delay(self.WALK_LATENCY_NS)
         #: Installed by the system builder.
         self.fault_handler: Optional[FaultHandler] = None
         #: The home SMU (HWDP mode only).
@@ -85,16 +95,22 @@ class Mmu:
                 raise ProtectionFault(f"write to read-only page {vpn:#x}")
             return Translation(pfn, TranslationKind.TLB_HIT)
 
-        yield Delay(self.WALK_LATENCY_NS)
+        yield self._walk_delay
         page_table = thread.process.page_table
         walk = page_table.walk(vaddr)
-        decoded = decode_pte(walk.pte)
+        pte = walk.pte
 
-        if decoded.present:
-            self._check_protection(decoded, vpn, is_write)
-            self.tlb.fill(vpn, decoded.pfn, decoded.writable)
-            return Translation(decoded.pfn, TranslationKind.WALK)
+        if pte & PRESENT_BIT:
+            # Present leaf: the fields the fast path needs are two bit
+            # tests away — skip the full decode.
+            writable = bool(pte & WRITABLE_BIT)
+            if is_write and not writable:
+                raise ProtectionFault(f"write to read-only page {vpn:#x}")
+            pfn = (pte & PFN_MASK) >> PFN_SHIFT
+            self.tlb.fill(vpn, pfn, writable)
+            return Translation(pfn, TranslationKind.WALK)
 
+        decoded = decode_pte(pte)
         if decoded.status is PteStatus.NON_RESIDENT_HW and self.smu is not None:
             started = self.sim.now
             self._check_protection(decoded, vpn, is_write)

@@ -17,8 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import PageTableError
-from repro.mem.address import ENTRIES_PER_TABLE, LEVELS, PAGE_SHIFT, level_index
+from repro.errors import AddressError, PageTableError
+from repro.mem.address import (
+    ENTRIES_PER_TABLE,
+    LEVELS,
+    PAGE_SHIFT,
+    VA_BITS,
+    VA_LIMIT,
+    level_index,
+)
 from repro.vm.pte import LBA_BIT, PRESENT_BIT, make_present_pte
 
 #: Synthetic physical address region where page-table pages live, far above
@@ -46,7 +53,7 @@ class _TableNode:
         return self.base_addr + index * 8
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkResult:
     """Outcome of a page-table walk for one virtual address.
 
@@ -112,25 +119,36 @@ class PageTable:
     # walking
     # ------------------------------------------------------------------
     def walk(self, vaddr: int) -> WalkResult:
-        """Walk the radix tree; never allocates tables."""
-        node = self.root
-        touched = 1
-        pud_entry_addr = pmd_entry_addr = pte_addr = None
-        for level in range(LEVELS - 1, 0, -1):
-            index = level_index(vaddr, level)
-            if level == 2:
-                pud_entry_addr = node.entry_addr(index)
-            elif level == 1:
-                pmd_entry_addr = node.entry_addr(index)
-            child = node.children.get(index)
-            if child is None:
-                return WalkResult(vaddr, 0, None, pmd_entry_addr, pud_entry_addr, touched)
-            node = child
-            touched += 1
-        index = level_index(vaddr, 0)
-        pte_addr = node.entry_addr(index)
+        """Walk the radix tree; never allocates tables.
+
+        The four radix levels are unrolled with the index extraction
+        inlined (one shift/mask per level): this runs once per TLB miss
+        and is the VM layer's hottest function.
+        """
+        if not 0 <= vaddr < VA_LIMIT:
+            raise AddressError(f"virtual address {vaddr:#x} outside {VA_BITS}-bit space")
+        node = self.root  # PGD (level 3)
+        pud_table = node.children.get((vaddr >> 39) & 511)
+        if pud_table is None:
+            return WalkResult(vaddr, 0, None, None, None, 1)
+        index = (vaddr >> 30) & 511
+        pud_entry_addr = pud_table.base_addr + index * 8
+        pmd_table = pud_table.children.get(index)
+        if pmd_table is None:
+            return WalkResult(vaddr, 0, None, None, pud_entry_addr, 2)
+        index = (vaddr >> 21) & 511
+        pmd_entry_addr = pmd_table.base_addr + index * 8
+        leaf = pmd_table.children.get(index)
+        if leaf is None:
+            return WalkResult(vaddr, 0, None, pmd_entry_addr, pud_entry_addr, 3)
+        index = (vaddr >> 12) & 511
         return WalkResult(
-            vaddr, node.entries[index], pte_addr, pmd_entry_addr, pud_entry_addr, touched
+            vaddr,
+            leaf.entries[index],
+            leaf.base_addr + index * 8,
+            pmd_entry_addr,
+            pud_entry_addr,
+            4,
         )
 
     def get_pte(self, vaddr: int) -> int:
@@ -144,18 +162,29 @@ class PageTable:
         """Write the leaf PTE, allocating intermediate tables as needed."""
         if self._sanitizer is not None:
             self._sanitizer.note_write(self)
+        if not 0 <= vaddr < VA_LIMIT:
+            raise AddressError(f"virtual address {vaddr:#x} outside {VA_BITS}-bit space")
+        # Unrolled like :meth:`walk`; the inline ``children.get`` probe
+        # keeps the common already-allocated descent free of method calls.
         node = self.root
-        pud_entry_addr = pmd_entry_addr = None
-        for level in range(LEVELS - 1, 0, -1):
-            index = level_index(vaddr, level)
-            if level == 2:
-                pud_entry_addr = node.entry_addr(index)
-            elif level == 1:
-                pmd_entry_addr = node.entry_addr(index)
-            node = self._child(node, index, create=True)
-        index = level_index(vaddr, 0)
-        was_populated = node.entries[index] != 0
-        node.entries[index] = value
+        index = (vaddr >> 39) & 511
+        child = node.children.get(index)
+        if child is None:
+            child = self._child(node, index, True)
+        index = (vaddr >> 30) & 511
+        pud_entry_addr = child.base_addr + index * 8
+        node, child = child, child.children.get(index)
+        if child is None:
+            child = self._child(node, index, True)
+        index = (vaddr >> 21) & 511
+        pmd_entry_addr = child.base_addr + index * 8
+        node, child = child, child.children.get(index)
+        if child is None:
+            child = self._child(node, index, True)
+        index = (vaddr >> 12) & 511
+        entries = child.entries
+        was_populated = entries[index] != 0
+        entries[index] = value
         if value != 0 and not was_populated:
             self.populated_ptes += 1
         elif value == 0 and was_populated:
@@ -163,7 +192,7 @@ class PageTable:
         return WalkResult(
             vaddr,
             value,
-            node.entry_addr(index),
+            child.base_addr + index * 8,
             pmd_entry_addr,
             pud_entry_addr,
             LEVELS,

@@ -227,9 +227,14 @@ def make_swap_pte(swap_offset: int) -> int:
 # ----------------------------------------------------------------------
 # Decoder
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class DecodedPte:
-    """A decoded view of one 64-bit leaf PTE."""
+    """A decoded view of one 64-bit leaf PTE.
+
+    Treated as immutable by every consumer; not ``frozen`` because the
+    per-field ``object.__setattr__`` of frozen dataclasses dominates
+    :func:`decode_pte` on the miss path (one decode per hardware miss).
+    """
 
     raw: int
     present: bool

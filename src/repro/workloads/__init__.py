@@ -3,11 +3,13 @@
 from repro.workloads.base import WorkloadDriver
 from repro.workloads.dbbench import DbBenchReadRandom
 from repro.workloads.distributions import (
+    BatchedStream,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
     ZipfianGenerator,
     fnv1a_64,
+    fnv1a_64_batch,
     uniform_scan_length,
 )
 from repro.workloads.fio import FioRandomRead, FioSequentialRead
@@ -24,6 +26,8 @@ __all__ = [
     "LatestGenerator",
     "uniform_scan_length",
     "fnv1a_64",
+    "fnv1a_64_batch",
+    "BatchedStream",
     "FioRandomRead",
     "FioSequentialRead",
     "GraphBFS",

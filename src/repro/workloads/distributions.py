@@ -8,6 +8,17 @@ Implements the generators the paper's workloads rely on:
 * scrambled zipfian — zipfian rank hashed over the key space so popular
   keys are spread out (what YCSB actually uses for reads);
 * latest — YCSB D: recently inserted records are most popular.
+
+Sampling is *batched*: every generator owns its numpy bit stream
+exclusively, and numpy's vectorized ``random(n)`` / ``integers(lo, hi, n)``
+consume the stream exactly like ``n`` scalar calls, so drawing a buffer
+ahead of time returns bit-identical values in the identical order — only
+the per-call overhead is amortised.  The one transform kept scalar is
+Gray's rank formula: ``np.power`` rounds differently from Python's ``**``
+in the last ULP, which would move keys across rank boundaries.
+
+Each generator exposes ``next()`` (one sample) and ``draw(n)`` (a
+vectorized batch); the two can be interleaved freely on one generator.
 """
 
 from __future__ import annotations
@@ -24,6 +35,9 @@ ZIPFIAN_CONSTANT = 0.99
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 
+#: Underlying samples drawn per buffered refill.
+_BATCH = 512
+
 
 def fnv1a_64(value: int) -> int:
     """FNV-1a hash of an integer's 8 bytes (YCSB's scrambling function)."""
@@ -36,6 +50,69 @@ def fnv1a_64(value: int) -> int:
     return result
 
 
+def fnv1a_64_batch(values) -> np.ndarray:
+    """Vectorized :func:`fnv1a_64` over an integer array (bit-exact).
+
+    uint64 arithmetic wraps modulo 2**64, which is exactly the scalar
+    version's ``& 0xFFFF...`` mask, so every element matches the scalar
+    hash bit for bit.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    result = np.full(v.shape, _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    mask = np.uint64(0xFF)
+    eight = np.uint64(8)
+    for _ in range(8):
+        result ^= v & mask
+        v = v >> eight
+        result *= prime
+    return result
+
+
+class BatchedStream:
+    """Buffered view of a vectorized sampler whose bit stream the caller
+    owns exclusively.
+
+    ``refill(n)`` must consume the underlying stream exactly like ``n``
+    scalar draws (true of ``Generator.random`` and ``Generator.integers``
+    with constant bounds), which makes ``next()``/``take(n)`` emit the
+    same values in the same order as the unbatched code path.
+    """
+
+    __slots__ = ("_refill", "_buf", "_pos")
+
+    def __init__(self, refill):
+        self._refill = refill
+        self._buf = None
+        self._pos = 0
+
+    def next(self):
+        buf = self._buf
+        pos = self._pos
+        if buf is None or pos >= buf.shape[0]:
+            buf = self._buf = self._refill(_BATCH)
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
+
+    def take(self, n: int) -> np.ndarray:
+        """Consume the next ``n`` samples as an array (stream order)."""
+        buf = self._buf
+        pos = self._pos
+        have = 0 if buf is None else buf.shape[0] - pos
+        if have >= n:
+            if buf is None:  # n == 0 before the first refill
+                return self._refill(0)
+            out = buf[pos : pos + n]
+            self._pos = pos + n
+            return out
+        head = buf[pos:] if have else None
+        self._buf = None
+        self._pos = 0
+        tail = self._refill(n - have)
+        return tail if head is None else np.concatenate([head, tail])
+
+
 class UniformGenerator:
     """Uniform keys over ``[0, item_count)``."""
 
@@ -44,9 +121,13 @@ class UniformGenerator:
             raise WorkloadError("need at least one item")
         self.item_count = item_count
         self.rng = rng
+        self._source = BatchedStream(lambda n: rng.integers(0, item_count, n))
 
     def next(self) -> int:
-        return int(self.rng.integers(0, self.item_count))
+        return int(self._source.next())
+
+    def draw(self, n: int) -> np.ndarray:
+        return self._source.take(n)
 
 
 class ZipfianGenerator:
@@ -60,6 +141,7 @@ class ZipfianGenerator:
         item_count: int,
         rng: np.random.Generator,
         theta: float = ZIPFIAN_CONSTANT,
+        _source: BatchedStream = None,
     ):
         if item_count < 1:
             raise WorkloadError("need at least one item")
@@ -71,6 +153,9 @@ class ZipfianGenerator:
         self.zeta_n = self._zeta(item_count, theta)
         self.zeta_2 = self._zeta(min(2, item_count), theta)
         self.alpha = 1.0 / (1.0 - theta)
+        #: ``0.5 ** theta`` is a per-sample constant of the original
+        #: formula; hoisting the identical expression preserves the value.
+        self._half_pow_theta = 0.5 ** theta
         if item_count <= 2:
             # Gray's closed form degenerates (0/0) for one or two items;
             # tiny populations fall back to exact inverse-CDF sampling.
@@ -84,13 +169,16 @@ class ZipfianGenerator:
             self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
                 1 - self.zeta_2 / self.zeta_n
             )
+        # A shared source lets LatestGenerator rebuild the sampler as the
+        # store grows without discarding buffered (already-drawn) stream
+        # values, which would break bit-identity.
+        self._source = BatchedStream(rng.random) if _source is None else _source
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
         return sum(1.0 / (i ** theta) for i in range(1, n + 1))
 
-    def next(self) -> int:
-        u = float(self.rng.random())
+    def _rank(self, u: float) -> int:
         if self.eta is None:
             for rank, bound in enumerate(self._cdf):
                 if u < bound:
@@ -99,9 +187,18 @@ class ZipfianGenerator:
         uz = u * self.zeta_n
         if uz < 1.0:
             return 0
-        if uz < 1.0 + 0.5 ** self.theta:
+        if uz < 1.0 + self._half_pow_theta:
             return 1
         return int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+
+    def next(self) -> int:
+        return self._rank(float(self._source.next()))
+
+    def draw(self, n: int) -> np.ndarray:
+        """``n`` ranks: one vectorized uniform batch, scalar transform."""
+        us = self._source.take(n)
+        rank = self._rank
+        return np.fromiter((rank(float(u)) for u in us), dtype=np.int64, count=n)
 
 
 class ScrambledZipfianGenerator:
@@ -115,9 +212,19 @@ class ScrambledZipfianGenerator:
     ):
         self.item_count = item_count
         self._zipfian = ZipfianGenerator(item_count, rng, theta)
+        # Buffer *scrambled* keys (not raw ranks) so next() amortises the
+        # hash too; routing draw() through the same stream keeps the two
+        # entry points interleavable without reordering the rank stream.
+        modulus = np.uint64(item_count)
+        self._source = BatchedStream(
+            lambda n: fnv1a_64_batch(self._zipfian.draw(n)) % modulus
+        )
+
+    def draw(self, n: int) -> np.ndarray:
+        return self._source.take(n)
 
     def next(self) -> int:
-        return fnv1a_64(self._zipfian.next()) % self.item_count
+        return int(self._source.next())
 
 
 class LatestGenerator:
@@ -134,6 +241,7 @@ class LatestGenerator:
         self.theta = theta
         self._zipfian = None
         self._zipfian_n = 0
+        self._source = BatchedStream(rng.random)
 
     def next(self) -> int:
         count = int(self._cursor())
@@ -142,16 +250,27 @@ class LatestGenerator:
         # Rebuild the underlying zipfian lazily as the store grows (zeta is
         # monotone; exact rebuild at ≥5 % growth keeps cost negligible).
         if self._zipfian is None or count > self._zipfian_n * 1.05:
-            self._zipfian = ZipfianGenerator(count, self.rng, self.theta)
+            self._zipfian = ZipfianGenerator(
+                count, self.rng, self.theta, _source=self._source
+            )
             self._zipfian_n = count
         rank = self._zipfian.next()
         if rank >= count:
             rank = count - 1
         return count - 1 - rank
 
+    def draw(self, n: int) -> np.ndarray:
+        # The cursor can move between samples, so "latest" has no
+        # vectorized transform; draw() exists for API uniformity.
+        return np.fromiter((self.next() for _ in range(n)), dtype=np.int64, count=n)
+
 
 def uniform_scan_length(rng: np.random.Generator, max_length: int) -> int:
-    """YCSB-E scan lengths: uniform in [1, max_length]."""
+    """YCSB-E scan lengths: uniform in [1, max_length].
+
+    Deliberately unbatched: the caller passes the *ops* stream, which it
+    interleaves with other draws — buffering here would reorder them.
+    """
     if max_length < 1:
         raise WorkloadError("scan length must be at least 1")
     return int(rng.integers(1, max_length + 1))

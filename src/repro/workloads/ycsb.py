@@ -28,6 +28,7 @@ from repro.cpu.thread import ThreadContext
 from repro.errors import WorkloadError
 from repro.workloads.base import WorkloadDriver
 from repro.workloads.distributions import (
+    BatchedStream,
     LatestGenerator,
     ScrambledZipfianGenerator,
     uniform_scan_length,
@@ -117,6 +118,12 @@ class YcsbWorkload(WorkloadDriver):
 
     def _thread_body(self, thread: ThreadContext, index: int) -> Generator[Any, Any, None]:
         op_rng = self.system.rng.stream(f"{self.name}-ops-{index}")
+        if self.mix.scan:
+            # Scan mixes interleave scan-length draws on the ops stream;
+            # batching the choose() samples would reorder them.
+            op_draw = op_rng.random
+        else:
+            op_draw = BatchedStream(op_rng.random).next
         next_key = self._make_key_source(index)
         latency = self._new_latency_stat(index)
         chooser = _OperationChooser(self.mix)
@@ -124,7 +131,7 @@ class YcsbWorkload(WorkloadDriver):
         sim = self.system.sim
         for _ in range(self.ops_per_thread):
             started = sim.now
-            operation = chooser.choose(float(op_rng.random()))
+            operation = chooser.choose(float(op_draw()))
             if operation == "read":
                 yield from store.get(thread, next_key())
             elif operation == "update":

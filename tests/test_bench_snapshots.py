@@ -1,0 +1,115 @@
+"""Schema checks for the recorded perf trajectory (benchmarks/BENCH_*.json).
+
+The snapshots are the speed campaign's historical record; nothing
+regenerates them automatically, so a malformed one would silently break
+``perf.py --check`` and trajectory comparisons.  These tests pin the
+schema every recorded file must satisfy, and the bits of ``perf.py``
+(file ordering, the regression gate) that consume it.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import perf  # noqa: E402
+
+SNAPSHOTS = perf.bench_files()
+
+ENTRY_KEYS = {"experiment", "scale", "cells", "sims", "events", "wall_s", "events_per_sec"}
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def test_trajectory_recorded():
+    assert SNAPSHOTS, "the perf trajectory needs at least one recorded snapshot"
+    indices = [int(p.stem.split("_")[1]) for p in SNAPSHOTS]
+    assert indices == list(range(1, len(indices) + 1)), (
+        "BENCH_<n>.json sequence numbers must be contiguous from 1"
+    )
+
+
+@pytest.mark.parametrize("path", SNAPSHOTS, ids=lambda p: p.name)
+def test_snapshot_schema(path):
+    snapshot = load(path)
+    assert snapshot["schema"] == perf.BENCH_SCHEMA
+    assert isinstance(snapshot["label"], str) and snapshot["label"]
+    assert set(snapshot["host"]) == {"python", "implementation", "machine", "system"}
+    results = snapshot["results"]
+    assert results, "a snapshot without measurements is useless"
+    from repro.experiments import spec_names
+
+    known = set(spec_names())
+    seen = set()
+    for entry in results:
+        assert set(entry) == ENTRY_KEYS, entry
+        assert entry["experiment"] in known
+        assert entry["scale"] in ("quick", "paper-shape")
+        key = (entry["experiment"], entry["scale"])
+        assert key not in seen, f"duplicate measurement {key}"
+        seen.add(key)
+        for field in ("cells", "sims", "events"):
+            assert isinstance(entry[field], int) and entry[field] >= 0
+        assert isinstance(entry["wall_s"], (int, float)) and entry["wall_s"] >= 0
+        if entry["wall_s"] > 0:
+            assert entry["events_per_sec"] == pytest.approx(
+                entry["events"] / entry["wall_s"], rel=0.05
+            )
+        else:
+            assert not entry["events_per_sec"]
+
+
+@pytest.mark.parametrize("path", SNAPSHOTS, ids=lambda p: p.name)
+def test_snapshot_totals_consistent(path):
+    snapshot = load(path)
+    results = snapshot["results"]
+    totals = snapshot["totals"]
+    assert totals["events"] == sum(r["events"] for r in results)
+    assert totals["wall_s"] == pytest.approx(sum(r["wall_s"] for r in results), abs=0.01)
+
+
+def test_snapshots_share_event_counts():
+    """The campaign's honesty check: a later snapshot may only be faster,
+    never *smaller* — identical (experiment, scale) measurements must
+    dispatch the identical number of events, or the speedup came from
+    changing the simulation instead of the engine."""
+    by_key = {}
+    for path in SNAPSHOTS:
+        for entry in load(path)["results"]:
+            key = (entry["experiment"], entry["scale"])
+            if not entry["events"]:
+                continue
+            recorded = by_key.setdefault(key, (path.name, entry["events"]))
+            assert recorded[1] == entry["events"], (
+                f"{key}: {recorded[0]} dispatched {recorded[1]} events, "
+                f"{path.name} dispatched {entry['events']}"
+            )
+
+
+def test_check_regressions_gate():
+    baseline = {
+        "results": [
+            {"experiment": "fig13", "scale": "quick", "events_per_sec": 100_000.0},
+            {"experiment": "fig11", "scale": "quick", "events_per_sec": 50_000.0},
+        ]
+    }
+    fresh = {
+        "results": [
+            # 30% down: fails a 25% tolerance.
+            {"experiment": "fig13", "scale": "quick", "events_per_sec": 70_000.0},
+            # 10% down: passes.
+            {"experiment": "fig11", "scale": "quick", "events_per_sec": 45_000.0},
+            # Not in the baseline: ignored.
+            {"experiment": "fig12", "scale": "quick", "events_per_sec": 1.0},
+        ]
+    }
+    failures = perf.check_regressions(fresh, baseline, tolerance=0.25)
+    assert len(failures) == 1 and "fig13" in failures[0]
+    assert perf.check_regressions(fresh, baseline, tolerance=0.35) == []

@@ -7,11 +7,13 @@ from hypothesis import strategies as st
 
 from repro.errors import WorkloadError
 from repro.workloads.distributions import (
+    BatchedStream,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
     ZipfianGenerator,
     fnv1a_64,
+    fnv1a_64_batch,
     uniform_scan_length,
 )
 
@@ -133,3 +135,55 @@ class TestFnv:
 
     def test_64_bit_range(self):
         assert 0 <= fnv1a_64(2 ** 63) < 2 ** 64
+
+
+class TestBatchedSampling:
+    """The batched ``draw(n)`` API must be stream-identical to scalar
+    ``next()`` loops: every generator owns its bit stream, so a batch of n
+    draws and n single draws consume the same underlying variates in the
+    same order and map them through the same transform."""
+
+    GENERATORS = {
+        "uniform": lambda r: UniformGenerator(10_000, r),
+        "zipfian": lambda r: ZipfianGenerator(10_000, r),
+        "scrambled": lambda r: ScrambledZipfianGenerator(10_000, r),
+        "latest": lambda r: LatestGenerator(lambda: 10_000, r),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_draw_matches_scalar_stream(self, name):
+        make = self.GENERATORS[name]
+        batched = make(rng(7)).draw(2000)
+        scalar_gen = make(rng(7))
+        scalar = [scalar_gen.next() for _ in range(2000)]
+        assert [int(v) for v in batched] == scalar
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_interleaved_draw_and_next(self, name):
+        make = self.GENERATORS[name]
+        mixed_gen = make(rng(3))
+        mixed = []
+        for chunk in (17, 1, 512, 3, 700):
+            mixed.extend(int(v) for v in mixed_gen.draw(chunk))
+            mixed.append(mixed_gen.next())
+        reference_gen = make(rng(3))
+        reference = [reference_gen.next() for _ in range(len(mixed))]
+        assert mixed == reference
+
+    @given(st.lists(st.integers(min_value=1, max_value=900), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_batched_stream_partition_invariant(self, chunks):
+        total = sum(chunks)
+        stream = BatchedStream(rng(11).random)
+        pieces = np.concatenate([stream.take(n) for n in chunks])
+        whole = rng(11).random(total)
+        assert np.array_equal(pieces, whole)
+
+    def test_fnv_batch_matches_scalar(self):
+        values = np.arange(5000, dtype=np.uint64) * np.uint64(2_654_435_761)
+        batch = fnv1a_64_batch(values)
+        assert [int(h) for h in batch] == [fnv1a_64(int(v)) for v in values]
+
+    def test_draw_zero(self):
+        generator = UniformGenerator(100, rng())
+        assert len(generator.draw(0)) == 0

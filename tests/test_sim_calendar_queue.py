@@ -1,0 +1,173 @@
+"""Calendar-queue engine tests: the overflow horizon and a property test
+pitting the bucketed calendar against a plain reference heap.
+
+``test_sim_engine.py`` covers the near-term behaviour (FIFO tie-break,
+cancellation, zero delays); this file exercises the part a global heap
+never had — events beyond the 1 ms bucketing horizon spilling to the
+overflow heap and migrating back — and then checks the whole structure
+against an obviously-correct ``(time, seq)`` heap on randomized
+schedules.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import engine as engine_mod
+from repro.sim.engine import Simulator
+
+HORIZON = engine_mod._HORIZON_NS
+
+
+# ----------------------------------------------------------------------
+# overflow horizon
+# ----------------------------------------------------------------------
+def test_far_future_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    # Deliberately scheduled out of order, straddling several horizons.
+    for delay in (2.5 * HORIZON, 10.0, 0.5 * HORIZON, 4.0 * HORIZON, 1.5 * HORIZON):
+        sim.schedule(delay, fired.append, delay)
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.now == 4.0 * HORIZON
+
+
+def test_far_future_events_go_to_overflow():
+    sim = Simulator()
+    sim.schedule(HORIZON * 3, lambda: None)
+    assert len(sim._overflow) == 1
+    assert not sim._buckets
+    sim.schedule(HORIZON / 2, lambda: None)
+    assert len(sim._buckets) == 1
+
+
+def test_overflow_same_timestamp_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(8):
+        sim.schedule(2.0 * HORIZON, fired.append, tag)
+    sim.run()
+    assert fired == list(range(8))
+
+
+def test_overflow_event_cancellation():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(2.0 * HORIZON, fired.append, "keep")
+    drop = sim.schedule(2.0 * HORIZON, fired.append, "drop")
+    del keep
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.now == 2.0 * HORIZON
+
+
+def test_migrated_events_interleave_with_new_near_events():
+    sim = Simulator()
+    fired = []
+    target = 2.0 * HORIZON
+
+    def late_riser():
+        # Runs after migration advanced the horizon past ``target``; the
+        # new same-timestamp event must fire after the migrated one.
+        fired.append("riser")
+        sim.schedule_at(target, fired.append, "new")
+
+    sim.schedule(target, fired.append, "migrated")
+    sim.schedule(target - 1.0, late_riser)
+    sim.run()
+    assert fired == ["riser", "migrated", "new"]
+
+
+def test_pending_events_counts_overflow():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(3.0 * HORIZON, lambda: None)
+    sim.schedule(5.0 * HORIZON, lambda: None)
+    assert sim.pending_events == 3
+
+
+def test_peek_migrates_overflow():
+    sim = Simulator()
+    sim.schedule(2.0 * HORIZON, lambda: None)
+    assert sim.peek() == 2.0 * HORIZON
+
+
+# ----------------------------------------------------------------------
+# property test vs a reference heap
+# ----------------------------------------------------------------------
+class _RefEvent:
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class ReferenceSimulator:
+    """The obviously-correct model: one global ``(time, seq)`` heap."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+
+    def schedule(self, delay, callback, *args):
+        event = _RefEvent()
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event, callback, args))
+        return event
+
+    def run(self):
+        while self._heap:
+            time, _, event, callback, args = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            callback(*args)
+
+
+# Delays mix exact ties, zero (run-after-current), sub-horizon values, and
+# multi-horizon far futures; floats hit irregular bucket keys.
+_DELAYS = st.one_of(
+    st.sampled_from(
+        [0.0, 1.0, 5.0, 5.0, 100.0, HORIZON, HORIZON + 1.0, 2.0 * HORIZON, 3.5 * HORIZON]
+    ),
+    st.floats(min_value=0.0, max_value=4.0 * HORIZON, allow_nan=False, width=32),
+)
+
+# Each root event: (delay, cancel_immediately, child delays scheduled from
+# inside its callback).  Children re-enter the scheduler mid-run, covering
+# schedule-during-dispatch and post-migration inserts.
+_SCRIPT = st.lists(
+    st.tuples(_DELAYS, st.booleans(), st.lists(_DELAYS, max_size=3)),
+    max_size=24,
+)
+
+
+def _drive(sim, script):
+    log = []
+
+    def fire(tag, children):
+        log.append((tag, sim.now))
+        for offset, child_delay in enumerate(children):
+            sim.schedule(child_delay, fire, (tag, offset), ())
+
+    for tag, (delay, cancel, children) in enumerate(script):
+        handle = sim.schedule(delay, fire, tag, tuple(children))
+        if cancel:
+            handle.cancel()
+    sim.run()
+    return log
+
+
+@settings(max_examples=200, deadline=None)
+@given(_SCRIPT)
+def test_calendar_matches_reference_heap(script):
+    # Both engines compute fire times as ``now + delay`` with identical
+    # arithmetic, so dispatch logs must match exactly — order and floats.
+    assert _drive(Simulator(), script) == _drive(ReferenceSimulator(), script)
