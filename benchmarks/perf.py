@@ -46,7 +46,8 @@ if str(_REPO_SRC) not in sys.path:
     sys.path.insert(0, str(_REPO_SRC))
 
 from repro.experiments import registry  # noqa: E402
-from repro.experiments.engine import execute  # noqa: E402
+from repro.experiments.engine import execute, scale_to_dict  # noqa: E402
+from repro.experiments.journal import RunJournal  # noqa: E402
 from repro.experiments.runner import PAPER_SHAPE, QUICK  # noqa: E402
 from repro.obs.runtime import Observation  # noqa: E402
 
@@ -152,6 +153,75 @@ def write_snapshot(snapshot: dict, path: pathlib.Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# supervision / journaling overhead gate
+# ----------------------------------------------------------------------
+def measure_overhead(name: str, scale_name: str, repeats: int) -> dict:
+    """Paired measurement of the journaled happy path vs a plain run.
+
+    The two modes are identical — same experiment, cold, serial,
+    in-process, observation counting events — except that one writes a run
+    journal (default ``fsync="critical"`` policy, so the per-cell
+    ``dispatched``/``done`` records skip the fsync exactly as a real run
+    does).  Each repeat runs the two modes back to back and contributes
+    one journaled/plain wall-time ratio; the reported overhead is the
+    *median* ratio, so slow drift (CPU frequency, a noisy neighbour)
+    cancels within a pair and a single outlier pair cannot fail the gate.
+    """
+    import shutil
+    import tempfile
+
+    spec = registry.get_spec(name)
+    scale = _SCALES[scale_name]
+    walls = {"plain": [], "journaled": []}
+    events = {"plain": 0, "journaled": 0}
+    for repeat in range(repeats):
+        for mode in ("plain", "journaled"):
+            sims = []
+            observation = Observation(
+                on_system=lambda unit, system: sims.append(system.sim)
+            )
+            journal = None
+            scratch = None
+            if mode == "journaled":
+                scratch = tempfile.mkdtemp(prefix="repro-overhead-")
+                journal = RunJournal.create(
+                    scale=scale_to_dict(scale),
+                    jobs=1,
+                    specs=[spec.name],
+                    run_id=f"overhead-{repeat}",
+                    root=pathlib.Path(scratch),
+                )
+            started = time.perf_counter()
+            execute([spec], scale, observation=observation, journal=journal)
+            walls[mode].append(time.perf_counter() - started)
+            events[mode] = sum(sim.events_dispatched for sim in sims)
+            if journal is not None:
+                journal.run_end("complete", exit_code=0)
+                journal.close()
+            if scratch is not None:
+                shutil.rmtree(scratch, ignore_errors=True)
+    ratios = sorted(
+        journaled / plain
+        for plain, journaled in zip(walls["plain"], walls["journaled"])
+    )
+    median_ratio = ratios[len(ratios) // 2]
+    if len(ratios) % 2 == 0:
+        median_ratio = (median_ratio + ratios[len(ratios) // 2 - 1]) / 2.0
+    plain_wall = min(walls["plain"])
+    journaled_wall = min(walls["journaled"])
+    return {
+        "experiment": spec.name,
+        "scale": scale_name,
+        "repeats": repeats,
+        "plain_wall_s": round(plain_wall, 4),
+        "journaled_wall_s": round(journaled_wall, 4),
+        "plain_events_per_sec": round(events["plain"] / plain_wall, 1),
+        "journaled_events_per_sec": round(events["journaled"] / journaled_wall, 1),
+        "overhead": round(median_ratio - 1.0, 4),
+    }
+
+
+# ----------------------------------------------------------------------
 # regression gate
 # ----------------------------------------------------------------------
 def check_regressions(fresh: dict, baseline: dict, tolerance: float):
@@ -216,7 +286,45 @@ def main(argv=None) -> int:
         default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.25")),
         help="allowed fractional events/sec loss for --check (default 0.25)",
     )
+    parser.add_argument(
+        "--overhead-check",
+        action="store_true",
+        help="paired-measure the journaled happy path vs a plain run and "
+        "exit 1 if journaling costs more than --overhead-tolerance",
+    )
+    parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_SUPERVISION_TOLERANCE", "0.02")),
+        help="allowed fractional wall-time cost of journaling (default 0.02)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="interleaved repeats per mode for --overhead-check (default 5)",
+    )
     args = parser.parse_args(argv)
+
+    if args.overhead_check:
+        name = args.only[0] if args.only else "variance"
+        entry = measure_overhead(name, args.scale, max(1, args.repeats))
+        print(
+            f"[perf: overhead {entry['experiment']}@{entry['scale']}: "
+            f"plain {entry['plain_wall_s']:.2f}s "
+            f"({entry['plain_events_per_sec']:,.0f} events/s), "
+            f"journaled {entry['journaled_wall_s']:.2f}s "
+            f"({entry['journaled_events_per_sec']:,.0f} events/s), "
+            f"overhead {entry['overhead']:+.2%}]",
+            file=sys.stderr,
+        )
+        verdict = "FAILED" if entry["overhead"] > args.overhead_tolerance else "OK"
+        print(
+            f"[perf: overhead check: {verdict} "
+            f"(tolerance {args.overhead_tolerance:.0%})]",
+            file=sys.stderr,
+        )
+        return 1 if verdict == "FAILED" else 0
 
     if args.only:
         try:

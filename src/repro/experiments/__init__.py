@@ -38,7 +38,16 @@ from repro.experiments import tail_latency  # noqa: F401
 from repro.experiments import variance  # noqa: F401
 from repro.experiments import resilience  # noqa: F401
 from repro.experiments import ablations  # noqa: F401
-from repro.experiments.engine import execute, run_spec, run_specs
+from repro.experiments.engine import (
+    CellFailure,
+    ExperimentFailure,
+    SupervisorConfig,
+    execute,
+    plan_resume,
+    run_spec,
+    run_specs,
+)
+from repro.experiments.journal import RunJournal, find_run, load_state
 from repro.experiments.registry import (
     Cell,
     ExperimentSpec,
@@ -79,4 +88,11 @@ __all__ = [
     "execute",
     "run_spec",
     "run_specs",
+    "CellFailure",
+    "ExperimentFailure",
+    "SupervisorConfig",
+    "plan_resume",
+    "RunJournal",
+    "find_run",
+    "load_state",
 ]

@@ -1,10 +1,10 @@
 """Command-line entry point: ``python -m repro.experiments``.
 
 Runs the requested experiments (default: the full registry, ablations
-included) at the chosen scale, serially or fanned out across worker
-processes, and prints the reproduced tables next to the paper's reference
-values.  ``--jobs N`` output is byte-identical to a serial run: cells are
-independent seeded simulations and merge in declaration order.
+included) at the chosen scale, serially or fanned out across supervised
+worker processes, and prints the reproduced tables next to the paper's
+reference values.  ``--jobs N`` output is byte-identical to a serial run:
+cells are independent seeded simulations and merge in declaration order.
 
 Usage::
 
@@ -13,6 +13,8 @@ Usage::
     python -m repro.experiments --only fig13 --jobs 4
     python -m repro.experiments --only ablations --scale paper-shape
     python -m repro.experiments --only fig12 --out results/ --no-cache
+    python -m repro.experiments --run-id nightly --jobs 4 --timeout 60
+    python -m repro.experiments --resume nightly     # pick up where it died
 
 Conventions:
 
@@ -21,12 +23,26 @@ Conventions:
 * ``--out DIR`` additionally writes each table to ``DIR/<name>.txt``;
 * computed cells are cached under ``benchmarks/.cache/`` (disable with
   ``--no-cache``; the cache key covers scale, params, and source version);
-* exit code 0 = success, 1 = an experiment failed, 2 = usage error.
+* ``--journal`` / ``--run-id ID`` record a crash-safe run journal under
+  ``benchmarks/.runs/<run_id>/``; ``--resume ID`` replays it, skips
+  ``done`` cells via the cache, and re-dispatches the rest (byte-identical
+  to an uninterrupted run); ``--retry-failed`` also re-dispatches
+  terminally failed cells;
+* ``--timeout`` / ``--max-retries`` supervise cells: a hung or crashed
+  cell is killed, retried with backoff on a fresh worker, and fully
+  journaled instead of aborting the grid;
+* SIGINT/SIGTERM drain in-flight cells, journal a ``suspended`` record,
+  and exit 3 (a second signal aborts immediately);
+* exit code 0 = success, 1 = an experiment failed, 2 = usage error
+  (including a refused resume), 3 = suspended and resumable.
+
+See ``docs/execution.md`` for the full run lifecycle and journal schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 import traceback
@@ -34,10 +50,26 @@ from pathlib import Path
 
 from repro.experiments import registry
 from repro.experiments.cache import CellCache
-from repro.experiments.engine import execute
+from repro.experiments.engine import (
+    SupervisorConfig,
+    execute,
+    plan_resume,
+    scale_to_dict,
+)
+from repro.experiments.journal import (
+    RUN_COMPLETE,
+    RUN_FAILED,
+    RUN_SUSPENDED,
+    RunJournal,
+    find_run,
+    load_state,
+)
 from repro.experiments.runner import PAPER_SHAPE, QUICK
 
 _SCALES = {"quick": QUICK, "paper-shape": PAPER_SHAPE, "paper": PAPER_SHAPE}
+
+#: Exit code for a drained, journaled, resumable interruption.
+EXIT_SUSPENDED = 3
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,9 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="worker processes for cell fan-out (default: 1, serial)",
+        help="worker processes for cell fan-out (default: 1, serial; "
+        "with --resume defaults to the original run's setting)",
     )
     parser.add_argument(
         "--out",
@@ -88,6 +121,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute every cell, bypassing benchmarks/.cache/",
+    )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="record a crash-safe run journal under benchmarks/.runs/ "
+        "(auto-generated run id; implied by --run-id and --resume)",
+    )
+    parser.add_argument(
+        "--run-id",
+        metavar="ID",
+        help="journal this run under the given id (implies --journal)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help="resume a journaled run: skip done cells via the cache, "
+        "re-dispatch the rest (refuses if the source code changed)",
+    )
+    parser.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="with --resume, also re-dispatch terminally failed cells",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget (scaled by each experiment's "
+        "cost hint and the scale's stretch); a hung cell is killed, "
+        "retried on a fresh worker, and journaled",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for crashed/hung/raising cells (default: 1)",
     )
     parser.add_argument(
         "--trace",
@@ -133,17 +203,74 @@ def main(argv=None) -> int:
     if args.list_specs:
         _list_specs(sys.stdout)
         return 0
-    if args.jobs < 1:
+    if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.retry_failed and not args.resume:
+        parser.error("--retry-failed only makes sense with --resume")
+
+    cache = None if args.no_cache else CellCache()
+    journal = None
+    skip_failed = None
 
     requested = list(args.names) + list(args.only)
-    try:
-        specs = registry.resolve(requested) if requested else registry.all_specs()
-    except KeyError as error:
-        parser.error(str(error.args[0]))
+    if args.resume:
+        if requested:
+            parser.error("--resume restores the original run's experiments; "
+                         "don't pass experiment names with it")
+        try:
+            state = load_state(find_run(args.resume))
+            plan = plan_resume(state, retry_failed=args.retry_failed)
+        except (FileNotFoundError, ValueError, KeyError) as error:
+            parser.error(str(error))
+        if plan.mismatches:
+            print(
+                f"[resume {args.resume}: REFUSED — the source tree no longer "
+                "matches the journal:]",
+                file=sys.stderr,
+            )
+            for line in plan.mismatches:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "[rerun from scratch (the cache already misses on the new "
+                "keys), or check out the original revision to resume]",
+                file=sys.stderr,
+            )
+            return 2
+        specs = plan.specs
+        scale = plan.scale
+        jobs = args.jobs if args.jobs is not None else plan.jobs
+        skip_failed = plan.skip_failed
+        if cache is None:
+            print(
+                "[resume: --no-cache recomputes previously-done cells "
+                "(output stays byte-identical)]",
+                file=sys.stderr,
+            )
+        journal = RunJournal.attach(args.resume, argv=list(argv or sys.argv[1:]))
+        done = sum(len(state.done_keys(name)) for name in state.specs)
+        print(
+            f"[resume {args.resume}: {len(specs)} experiments, {done} cells "
+            f"already done, {len(skip_failed)} prior failures "
+            f"{'retried' if args.retry_failed else 'skipped'}]",
+            file=sys.stderr,
+        )
+    else:
+        try:
+            specs = registry.resolve(requested) if requested else registry.all_specs()
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        scale = _SCALES[args.scale]
+        jobs = args.jobs if args.jobs is not None else 1
+        if args.journal or args.run_id:
+            journal = RunJournal.create(
+                scale=scale_to_dict(scale),
+                jobs=jobs,
+                specs=[spec.name for spec in specs],
+                run_id=args.run_id,
+                argv=list(argv or sys.argv[1:]),
+            )
+            print(f"[journal: run {journal.run_id} -> {journal.path}]", file=sys.stderr)
 
-    scale = _SCALES[args.scale]
-    cache = None if args.no_cache else CellCache()
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -153,59 +280,136 @@ def main(argv=None) -> int:
         from repro.obs.runtime import Observation
         from repro.obs.trace import TraceSink
 
-        if args.jobs > 1:
+        if jobs > 1:
             print(
                 "[observability: --trace/--metrics/--sanitize force --jobs 1 "
                 "(cells must run in-process to be observed)]",
                 file=sys.stderr,
             )
-            args.jobs = 1
+            jobs = 1
         observation = Observation(
             trace=TraceSink() if args.trace else None,
             metrics=bool(args.metrics),
             sanitize=args.sanitize,
         )
 
-    pool = None
-    if args.jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    supervise = None
+    if observation is None and (
+        jobs > 1 or args.timeout is not None or args.max_retries is not None
+    ):
+        supervise = SupervisorConfig(
+            timeout_s=args.timeout,
+            max_retries=args.max_retries if args.max_retries is not None else 1,
+        )
+    elif observation is not None and (args.timeout is not None or args.max_retries is not None):
+        print(
+            "[observability: cells run in-process, so --timeout/--max-retries "
+            "supervision is disabled for this run]",
+            file=sys.stderr,
+        )
 
-        pool = ProcessPoolExecutor(max_workers=args.jobs)
+    # First SIGINT/SIGTERM: stop dispatching, drain in-flight cells, journal
+    # a suspended record, exit 3.  Second signal: abort immediately.
+    stop_state = {"stop": False}
+
+    def _should_stop() -> bool:
+        return stop_state["stop"]
+
+    def _on_signal(signum, frame):
+        if stop_state["stop"]:
+            raise KeyboardInterrupt
+        stop_state["stop"] = True
+        print(
+            f"[signal {signum}: draining in-flight cells; send again to "
+            "abort immediately]",
+            file=sys.stderr,
+        )
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+    except ValueError:  # not the main thread (embedded callers)
+        previous_handlers = {}
+
     status = 0
+    failures = []
+    supervision_totals = {}
+    interrupted = False
     try:
         for spec in specs:
+            if _should_stop():
+                interrupted = True
+                break
             started = time.monotonic()  # repro: allow[REP001] reason=host-side progress timing, never feeds the simulation
             try:
                 report = execute(
                     [spec],
                     scale,
-                    jobs=args.jobs,
+                    jobs=jobs,
                     cache=cache,
-                    executor=pool,
                     observation=observation,
+                    journal=journal,
+                    supervise=supervise,
+                    skip_failed=skip_failed,
+                    should_stop=_should_stop,
+                    raise_on_failure=False,
                 )
             except Exception:
                 print(f"[{spec.name} FAILED]", file=sys.stderr)
                 traceback.print_exc()
                 status = 1
                 continue
-            result = report.results[0]
-            print(result.to_text())
-            print()
-            if out_dir is not None:
-                (out_dir / f"{result.name}.txt").write_text(result.to_text() + "\n")
+            failures.extend(report.failures)
+            interrupted = interrupted or report.interrupted
+            for name, count in report.supervision.items():
+                supervision_totals[name] = supervision_totals.get(name, 0) + count
+            result = report.result_for(spec.name)
+            if result is not None:
+                print(result.to_text())
+                print()
+                if out_dir is not None:
+                    (out_dir / f"{result.name}.txt").write_text(result.to_text() + "\n")
             elapsed = time.monotonic() - started  # repro: allow[REP001] reason=host-side progress timing, never feeds the simulation
+            suffix = ""
+            if report.failures:
+                suffix = f", {len(report.failures)} failed"
+            if report.skipped:
+                suffix += f", {report.skipped} skipped"
             print(
                 f"[{spec.name}: {report.total_cells} cells "
-                f"({report.cached} cached) in {elapsed:.1f}s]",
+                f"({report.cached} cached) in {elapsed:.1f}s{suffix}]",
                 file=sys.stderr,
             )
     finally:
-        if pool is not None:
-            pool.shutdown()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+    if failures:
+        status = max(status, 1)
+        print(f"[failures: {len(failures)} cells]", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+    if interrupted:
+        status = EXIT_SUSPENDED
+        hint = f" --resume {journal.run_id}" if journal is not None else ""
+        print(f"[suspended: resumable{hint}]", file=sys.stderr)
+
+    if journal is not None:
+        end_state = (
+            RUN_SUSPENDED if interrupted
+            else (RUN_FAILED if status else RUN_COMPLETE)
+        )
+        journal.run_end(
+            end_state,
+            exit_code=status,
+            failures=len(failures),
+            supervision=supervision_totals,
+        )
+        journal.close()
 
     if observation is not None:
-        _write_observation(observation, args)
+        _write_observation(observation, args, supervision_totals, cache)
         if args.sanitize and _report_hazards(observation) and status == 0:
             status = 1
     return status
@@ -230,7 +434,7 @@ def _report_hazards(observation) -> int:
     return total_hazards
 
 
-def _write_observation(observation, args) -> None:
+def _write_observation(observation, args, supervision_totals, cache) -> None:
     """Export the recorded trace/metrics and print the span breakdown."""
     import json
 
@@ -247,12 +451,20 @@ def _write_observation(observation, args) -> None:
         )
         print(breakdown_report(sink), file=sys.stderr)
     if args.metrics:
+        from repro.obs.metrics import run_metrics
+
         snapshots = [
             {"unit": unit, "metrics": reg.collect()}
             for unit, reg in observation.registries
         ]
+        run_registry = run_metrics(supervision_totals, cache)
         with open(args.metrics, "w") as handle:
-            json.dump({"cells": snapshots}, handle, indent=1, sort_keys=True)
+            json.dump(
+                {"cells": snapshots, "run": run_registry.collect()},
+                handle,
+                indent=1,
+                sort_keys=True,
+            )
             handle.write("\n")
         print(
             f"[metrics: {len(snapshots)} cell snapshots -> {args.metrics}]",

@@ -8,6 +8,17 @@ one experiment module invalidates only that experiment's cells.
 
 Payloads are stored exactly as the engine's canonical JSON form, so a
 cache hit is byte-identical to a fresh computation.
+
+Robustness contract (the resume path depends on the cache as the artifact
+store for ``done`` cells):
+
+* ``put`` is atomic *and durable*: temp file + fsync + ``os.replace`` +
+  fsync of the containing directory, so a crash leaves either the old
+  entry, the new entry, or a temp file — never a half-written entry;
+* a corrupt entry (unparseable JSON, wrong key, missing payload) is not
+  silently treated as a miss: it is **quarantined** by renaming it to
+  ``<key>.json.corrupt`` for inspection and tallied in ``stats`` under
+  ``corrupt`` (surfaced as the ``cache.corrupt`` metric).
 """
 
 from __future__ import annotations
@@ -17,6 +28,8 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+from repro.sim.trace import Counter
 
 
 def default_cache_dir() -> Path:
@@ -31,23 +44,62 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-experiments"
 
 
+def _fsync_dir(directory: Path) -> None:
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 class CellCache:
     """Filesystem-backed map: cell key -> canonical JSON payload."""
 
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: ``hits`` / ``misses`` / ``corrupt`` / ``writes`` tallies; the
+        #: CLI surfaces these as ``cache.*`` metrics.
+        self.stats = Counter()
 
     def _path(self, experiment: str, key: str) -> Path:
         return self.root / experiment / f"{key}.json"
 
-    def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
-        """The cached payload, or ``None`` on miss or a corrupt entry."""
+    def _quarantine(self, path: Path) -> None:
+        """Set a corrupt entry aside as ``<name>.corrupt`` (never served,
+        never silently deleted) and count it."""
+        self.stats.add("corrupt")
         try:
-            entry = json.loads(self._path(experiment, key).read_text())
-        except (OSError, ValueError):
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+
+    def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or ``None`` on a miss.
+
+        A present-but-corrupt entry also returns ``None`` — after being
+        quarantined and counted, so corruption is observable rather than
+        silently recomputed around.
+        """
+        path = self._path(experiment, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.add("misses")
             return None
-        if entry.get("key") != key or "payload" not in entry:
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             return None
+        if not isinstance(entry, dict) or entry.get("key") != key or "payload" not in entry:
+            self._quarantine(path)
+            return None
+        self.stats.add("hits")
         return entry["payload"]
 
     def put(
@@ -57,7 +109,8 @@ class CellCache:
         params: Dict[str, Any],
         payload: Dict[str, Any],
     ) -> None:
-        """Store ``payload`` atomically (concurrent writers are safe)."""
+        """Store ``payload`` atomically and durably (concurrent writers and
+        crashes at any instant are safe)."""
         path = self._path(experiment, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -70,7 +123,11 @@ class CellCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry, handle, indent=1, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
+            self.stats.add("writes")
         except BaseException:
             try:
                 os.unlink(tmp)

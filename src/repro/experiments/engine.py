@@ -1,19 +1,40 @@
 """Experiment executor: runs registered specs serially or across processes.
 
 The engine expands each :class:`ExperimentSpec` into its cells, computes
-every cell payload — inline, from the cell cache, or on a
-``ProcessPoolExecutor`` — and merges payloads back **in cell declaration
-order**, so ``--jobs N`` output is byte-identical to a serial run (each
-cell builds its own seeded simulator; nothing is shared).
+every cell payload — inline, from the cell cache, or on worker processes —
+and merges payloads back **in cell declaration order**, so ``--jobs N``
+output is byte-identical to a serial run (each cell builds its own seeded
+simulator; nothing is shared).
 
 Byte-identity holds across the cache too: every payload, fresh or cached,
 passes through one canonical JSON round-trip before merging (``repr`` of a
-Python float round-trips exactly, so no precision is lost).
+Python float round-trips exactly, so no precision is lost).  The same
+round-trip guards the supervised worker boundary: workers ship payloads as
+canonical JSON text, so a retried, resumed, or cached cell is
+indistinguishable from a fresh serial one.
 
 Cache keys combine the experiment name, an explicit spec version, a
 fingerprint of the experiment's source files (the defining module plus the
 shared harness modules), the full scale preset, and the cell params —
 editing one experiment module invalidates only its own cells.
+
+Robust execution (the week-long-grid layer) is opt-in per call:
+
+* ``journal`` — a :class:`repro.experiments.journal.RunJournal` receives a
+  state transition per cell (dispatched/done/failed/timeout), making the
+  run crash-safe and resumable;
+* ``supervise`` — a :class:`SupervisorConfig` routes cells through a
+  supervised worker pool: per-cell wall-clock timeouts (scaled by the
+  spec's ``cost_hint`` and the scale's ``timeout_scale``), bounded retry
+  with exponential backoff on a fresh worker, worker-death detection with
+  pool rebuild, and graceful degradation to inline serial execution when
+  the pool repeatedly fails;
+* failures never abort the grid: every failing cell is collected into
+  ``ExecutionReport.failures`` (and re-raised at the end as one aggregate
+  :class:`ExperimentFailure` unless ``raise_on_failure=False``);
+* ``should_stop`` — a callable polled between dispatches; when it turns
+  true the engine stops dispatching, drains in-flight cells, and returns
+  with ``report.interrupted`` set (the CLI's clean-SIGINT path).
 """
 
 from __future__ import annotations
@@ -21,11 +42,15 @@ from __future__ import annotations
 import hashlib
 import json
 import sys
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.experiments.cache import CellCache
+from repro.experiments.journal import RunJournal, RunState
 from repro.experiments.registry import (
     Cell,
     ExperimentSpec,
@@ -107,9 +132,9 @@ def cell_key(spec: ExperimentSpec, scale: ExperimentScale, cell: Cell) -> str:
 def compute_cell(spec_name: str, scale_dict: Dict[str, Any], params: Params) -> Params:
     """Run one cell and return its canonical payload.
 
-    Top-level (and addressed by spec *name*) so a ``ProcessPoolExecutor``
-    can ship the call to a worker process, where the registry is rebuilt
-    by importing :mod:`repro.experiments`.
+    Top-level (and addressed by spec *name*) so a worker process can be
+    handed the call, where the registry is rebuilt by importing
+    :mod:`repro.experiments`.
     """
     spec = get_spec(spec_name)
     scale = scale_from_dict(scale_dict)
@@ -126,19 +151,110 @@ def _unit_label(spec: ExperimentSpec, cell: Cell) -> str:
 
 
 # ----------------------------------------------------------------------
+# failures and supervision config
+# ----------------------------------------------------------------------
+@dataclass
+class CellFailure:
+    """One cell that could not produce a payload."""
+
+    experiment: str
+    params: Params
+    key: Optional[str]
+    #: ``exception`` | ``worker-died`` | ``timeout`` | ``prior-failure``
+    kind: str
+    error: str
+    attempts: int = 1
+
+    def describe(self) -> str:
+        label = self.experiment
+        if self.params:
+            inner = ",".join(f"{k}={self.params[k]}" for k in sorted(self.params))
+            label = f"{self.experiment}[{inner}]"
+        plural = "s" if self.attempts != 1 else ""
+        return f"{label}: {self.kind} after {self.attempts} attempt{plural}: {self.error}"
+
+
+class ExperimentFailure(RuntimeError):
+    """Aggregate of every failed cell in a run (raised after all cells ran)."""
+
+    def __init__(self, failures: List[CellFailure]):
+        self.failures = list(failures)
+        lines = [f"{len(failures)} cell(s) failed:"]
+        lines.extend(f"  {failure.describe()}" for failure in failures)
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for the supervised worker pool."""
+
+    #: Base per-cell wall-clock timeout in seconds for a ``cost_hint=1``
+    #: cell at ``timeout_scale=1``; ``None`` disables timeouts.
+    timeout_s: Optional[float] = None
+    #: Extra attempts after the first (crashed, hung, or raising cells).
+    max_retries: int = 1
+    #: Base retry backoff; doubles per attempt.
+    backoff_s: float = 0.25
+    #: Supervisor poll interval (result wait granularity).
+    poll_s: float = 0.05
+    #: Consecutive pool failures (spawn errors / worker deaths with no
+    #: intervening success) tolerated before degrading to serial.
+    max_pool_failures: int = 3
+
+    def cell_timeout(self, spec: ExperimentSpec, scale: ExperimentScale) -> Optional[float]:
+        """The effective wall-clock budget for one of ``spec``'s cells."""
+        if self.timeout_s is None:
+            return None
+        cost = getattr(spec, "cost_hint", 1.0) or 1.0
+        stretch = getattr(scale, "timeout_scale", 1.0) or 1.0
+        return self.timeout_s * cost * stretch
+
+
+# ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
 @dataclass
 class ExecutionReport:
-    """Results plus where their cells came from."""
+    """Results plus where their cells came from and what went wrong."""
 
     results: List[ExperimentResult] = field(default_factory=list)
     computed: int = 0
     cached: int = 0
+    #: Cells that produced no payload, with why.
+    failures: List[CellFailure] = field(default_factory=list)
+    #: Cells never attempted because the run was interrupted.
+    skipped: int = 0
+    #: True when ``should_stop`` fired and the run drained early.
+    interrupted: bool = False
+    #: Spec names whose merge was skipped (missing payloads).
+    incomplete: List[str] = field(default_factory=list)
+    #: Supervision tallies (retries, timeouts, worker deaths, …).
+    supervision: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_cells(self) -> int:
         return self.computed + self.cached
+
+    def result_for(self, name: str) -> Optional[ExperimentResult]:
+        for result in self.results:
+            if result.name == name:
+                return result
+        return None
+
+
+def _new_supervision_counters() -> Dict[str, int]:
+    return {
+        "dispatched": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "worker_deaths": 0,
+        "pool_rebuilds": 0,
+        "degraded_serial": 0,
+    }
+
+
+#: One pending cell: (spec_index, cell_index, spec, cell, key-or-None).
+_Slot = Tuple[int, int, ExperimentSpec, Cell, Optional[str]]
 
 
 def execute(
@@ -150,36 +266,63 @@ def execute(
     executor: Optional[Executor] = None,
     cells_override: Optional[Sequence[Cell]] = None,
     observation: Optional[Any] = None,
+    journal: Optional[RunJournal] = None,
+    supervise: Optional[SupervisorConfig] = None,
+    skip_failed: Optional[Dict[Tuple[str, str], CellFailure]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    raise_on_failure: bool = True,
 ) -> ExecutionReport:
     """Run ``specs`` and return merged results in the order given.
 
-    ``jobs > 1`` fans cells out on a private :class:`ProcessPoolExecutor`
-    (or the caller's ``executor``).  ``cells_override`` replaces the cell
-    grid — only valid when running a single spec (the back-compat shims
-    use it for parameterised ``run(...)`` calls).
+    ``jobs > 1`` fans cells out across worker processes: on the supervised
+    pool when ``supervise`` is given, else on a private
+    :class:`ProcessPoolExecutor` (or the caller's ``executor``).
+    ``cells_override`` replaces the cell grid — only valid when running a
+    single spec.
 
     ``observation`` (a :class:`repro.obs.runtime.Observation`) records the
     run: every cell is computed serially in-process so its simulator is
     observable (cache *reads* are bypassed — a cached payload emits no
-    spans — and parallelism is ignored), and each cell labels its spans
-    and metrics with ``<experiment>/<cell-params>``.  Cache keys and the
-    payloads written back are untouched: recording never perturbs the
-    simulation, so a traced payload is byte-identical to an untraced one.
+    spans — and parallelism/supervision timeouts are ignored), and each
+    cell labels its spans and metrics with ``<experiment>/<cell-params>``.
+    Cache keys and the payloads written back are untouched: recording never
+    perturbs the simulation, so a traced payload is byte-identical to an
+    untraced one.
+
+    ``skip_failed`` maps ``(experiment, cell key)`` to a prior
+    :class:`CellFailure` (from a resumed journal): those cells are not
+    re-dispatched, their failure is re-reported instead (``--retry-failed``
+    clears the map).
+
+    Failing cells never abort the grid; they are collected and re-raised
+    as one :class:`ExperimentFailure` at the end (or only reported in
+    ``report.failures`` when ``raise_on_failure=False``).
     """
     resolved = [get_spec(s) if isinstance(s, str) else s for s in specs]
     if cells_override is not None and len(resolved) != 1:
         raise ValueError("cells_override requires exactly one spec")
     observing = observation is not None
+    need_keys = cache is not None or journal is not None or bool(skip_failed)
 
-    report = ExecutionReport()
+    report = ExecutionReport(supervision=_new_supervision_counters())
     plans: List[List[Cell]] = []
     payloads: Dict[Tuple[int, int], Params] = {}
-    pending: List[Tuple[int, int, ExperimentSpec, Cell, Optional[str]]] = []
+    pending: List[_Slot] = []
     for spec_index, spec in enumerate(resolved):
         cells = list(cells_override if cells_override is not None else spec.cells(scale))
         plans.append(cells)
-        for cell_index, cell in enumerate(cells):
-            key = cell_key(spec, scale, cell) if cache is not None else None
+        keys = [cell_key(spec, scale, cell) if need_keys else None for cell in cells]
+        if journal is not None:
+            journal.record_cells(
+                spec.name,
+                spec_fingerprint(spec),
+                [(key, cell.as_dict()) for key, cell in zip(keys, cells)],
+            )
+        for cell_index, (cell, key) in enumerate(zip(cells, keys)):
+            prior = skip_failed.get((spec.name, key)) if skip_failed else None
+            if prior is not None:
+                report.failures.append(prior)
+                continue
             hit = (
                 cache.get(spec.name, key)
                 if cache is not None and not observing
@@ -188,56 +331,567 @@ def execute(
             if hit is not None:
                 payloads[(spec_index, cell_index)] = hit
                 report.cached += 1
+                if journal is not None:
+                    journal.cell_done(spec.name, key, 0, 0.0, source="cache")
             else:
                 pending.append((spec_index, cell_index, spec, cell, key))
 
     scale_dict = scale_to_dict(scale)
 
-    def _finish(slot: Tuple[int, int, ExperimentSpec, Cell, Optional[str]], payload: Params) -> None:
+    def _finish(slot: _Slot, payload: Params, attempt: int = 1, wall_s: float = 0.0,
+                worker: str = "inline") -> None:
         spec_index, cell_index, spec, cell, key = slot
         payloads[(spec_index, cell_index)] = payload
         report.computed += 1
         if cache is not None and key is not None:
             cache.put(spec.name, key, cell.as_dict(), payload)
+        if journal is not None and key is not None:
+            journal.cell_done(spec.name, key, attempt, wall_s, worker=worker)
+
+    def _fail(slot: _Slot, kind: str, error: str, attempts: int,
+              worker: str = "inline") -> None:
+        spec_index, cell_index, spec, cell, key = slot
+        report.failures.append(
+            CellFailure(
+                experiment=spec.name,
+                params=cell.as_dict(),
+                key=key,
+                kind=kind,
+                error=error,
+                attempts=attempts,
+            )
+        )
+        if journal is not None and key is not None and kind != "timeout":
+            journal.cell_failed(
+                spec.name, key, attempts, error, kind=kind, final=True, worker=worker
+            )
+
+    def _run_inline(slots: Sequence[_Slot], label: str = "inline") -> None:
+        """Serial in-process execution with journaling + failure capture."""
+        for position, slot in enumerate(slots):
+            if should_stop is not None and should_stop():
+                report.interrupted = True
+                report.skipped += len(slots) - position
+                return
+            spec, cell, key = slot[2], slot[3], slot[4]
+            if journal is not None and key is not None:
+                journal.cell_dispatched(spec.name, key, 1, label)
+            started = time.perf_counter()  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+            try:
+                payload = _canonical(spec.cell_fn(scale, cell.as_dict()))
+            except Exception as exc:
+                _fail(slot, "exception", f"{type(exc).__name__}: {exc}", 1, label)
+                continue
+            wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+            _finish(slot, payload, 1, wall_s, label)
 
     if observing:
         from repro.obs import runtime as obs_runtime
 
         obs_runtime.activate(observation)
         try:
-            for slot in pending:
-                spec, cell = slot[2], slot[3]
+            for position, slot in enumerate(pending):
+                if should_stop is not None and should_stop():
+                    report.interrupted = True
+                    report.skipped += len(pending) - position
+                    break
+                spec, cell, key = slot[2], slot[3], slot[4]
                 observation.set_unit(_unit_label(spec, cell))
-                _finish(slot, _canonical(spec.cell_fn(scale, cell.as_dict())))
+                if journal is not None and key is not None:
+                    journal.cell_dispatched(spec.name, key, 1, "inline")
+                started = time.perf_counter()  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+                try:
+                    payload = _canonical(spec.cell_fn(scale, cell.as_dict()))
+                except Exception as exc:
+                    _fail(slot, "exception", f"{type(exc).__name__}: {exc}", 1)
+                    continue
+                wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+                _finish(slot, payload, 1, wall_s)
         finally:
             observation.set_unit(None)
             obs_runtime.deactivate()
+    elif pending and supervise is not None:
+        _run_supervised(
+            pending,
+            scale,
+            scale_dict,
+            max(1, jobs),
+            supervise,
+            journal,
+            report,
+            _finish,
+            _fail,
+            _run_inline,
+            should_stop,
+        )
     elif pending and (jobs > 1 or executor is not None) and len(pending) > 1:
         pool = executor
         owned = pool is None
         if owned:
             pool = ProcessPoolExecutor(max_workers=max(1, jobs))
+        fallback: List[_Slot] = []
         try:
-            futures = {
-                pool.submit(compute_cell, slot[2].name, scale_dict, slot[3].as_dict()): slot
-                for slot in pending
-            }
+            futures = {}
+            for slot in pending:
+                spec, cell, key = slot[2], slot[3], slot[4]
+                if journal is not None and key is not None:
+                    journal.cell_dispatched(spec.name, key, 1, "pool")
+                futures[
+                    pool.submit(compute_cell, spec.name, scale_dict, cell.as_dict())
+                ] = slot
             remaining = set(futures)
-            while remaining:
+            broken = False
+            while remaining and not broken:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    _finish(futures[future], future.result())
+                    slot = futures[future]
+                    try:
+                        _finish(slot, future.result(), 1, 0.0, "pool")
+                    except BrokenProcessPool:
+                        # The pool lost a worker: every unfinished cell is
+                        # gone with it.  Degrade the remainder to serial.
+                        broken = True
+                        fallback.append(slot)
+                    except Exception as exc:
+                        _fail(
+                            slot, "exception", f"{type(exc).__name__}: {exc}", 1, "pool"
+                        )
+            if broken:
+                for future in remaining:
+                    future.cancel()
+                fallback.extend(
+                    futures[future] for future in futures if not future.done()
+                )
+                report.supervision["degraded_serial"] = 1
+                if journal is not None:
+                    journal.note("degraded_serial", reason="broken process pool")
         finally:
             if owned:
                 pool.shutdown()
+        if fallback:
+            ordered = sorted(fallback, key=lambda slot: (slot[0], slot[1]))
+            _run_inline(ordered)
     else:
-        for slot in pending:
-            _finish(slot, _canonical(slot[2].cell_fn(scale, slot[3].as_dict())))
+        _run_inline(pending)
 
     for spec_index, spec in enumerate(resolved):
-        ordered = [payloads[(spec_index, i)] for i in range(len(plans[spec_index]))]
+        ordered = [
+            payloads.get((spec_index, i)) for i in range(len(plans[spec_index]))
+        ]
+        if any(payload is None for payload in ordered):
+            report.incomplete.append(spec.name)
+            continue
         report.results.append(spec.merge(scale, ordered))
+    if report.failures and raise_on_failure:
+        raise ExperimentFailure(report.failures)
     return report
+
+
+# ----------------------------------------------------------------------
+# supervised worker pool
+# ----------------------------------------------------------------------
+def _supervised_worker(worker_id: str, task_queue: Any, result_queue: Any) -> None:
+    """Worker loop: compute cells until handed ``None``.
+
+    Payloads travel back as canonical JSON text, so the parent's
+    ``json.loads`` reproduces the exact bytes a serial run would merge.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, attempt, spec_name, scale_dict, params = item
+        started = time.perf_counter()  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+        try:
+            payload = compute_cell(spec_name, scale_dict, params)
+        except Exception as exc:
+            wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing, never feeds the simulation
+            result_queue.put(
+                (task_id, attempt, False, f"{type(exc).__name__}: {exc}", wall_s)
+            )
+        else:
+            wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing, never feeds the simulation
+            result_queue.put((task_id, attempt, True, json.dumps(payload), wall_s))
+
+
+class _Task:
+    __slots__ = ("task_id", "slot", "attempts", "timeout_s", "finished")
+
+    def __init__(self, task_id: int, slot: _Slot, timeout_s: Optional[float]):
+        self.task_id = task_id
+        self.slot = slot
+        self.attempts = 0
+        self.timeout_s = timeout_s
+        self.finished = False
+
+    @property
+    def label(self) -> str:
+        return _unit_label(self.slot[2], self.slot[3])
+
+
+class _WorkerHandle:
+    __slots__ = ("worker_id", "task_queue", "proc", "task", "deadline", "attempt")
+
+    def __init__(self, ctx: Any, worker_id: str, result_queue: Any):
+        self.worker_id = worker_id
+        self.task_queue = ctx.SimpleQueue()
+        self.proc = ctx.Process(
+            target=_supervised_worker,
+            args=(worker_id, self.task_queue, result_queue),
+            daemon=True,
+            name=f"repro-cell-{worker_id}",
+        )
+        self.proc.start()
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+        self.attempt = 0
+
+    def kill(self) -> None:
+        try:
+            self.proc.terminate()
+            self.proc.join(0.5)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(0.5)
+        except (OSError, ValueError):
+            pass
+
+    def shutdown(self) -> None:
+        if self.proc.is_alive():
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+            self.proc.join(0.5)
+        if self.proc.is_alive():
+            self.kill()
+
+
+def _run_supervised(
+    pending: Sequence[_Slot],
+    scale: ExperimentScale,
+    scale_dict: Dict[str, Any],
+    jobs: int,
+    cfg: SupervisorConfig,
+    journal: Optional[RunJournal],
+    report: ExecutionReport,
+    _finish: Callable[..., None],
+    _fail: Callable[..., None],
+    _run_inline: Callable[..., None],
+    should_stop: Optional[Callable[[], bool]],
+) -> None:
+    """Dispatch ``pending`` onto a supervised pool of worker processes."""
+    import multiprocessing
+    import queue as queue_mod
+
+    ctx = multiprocessing.get_context()
+    result_queue = ctx.Queue()
+    counters = report.supervision
+
+    tasks: Dict[int, _Task] = {}
+    ready: deque = deque()
+    waiting: List[Tuple[float, int]] = []  # (eligible_at, task_id)
+    for task_id, slot in enumerate(pending):
+        tasks[task_id] = _Task(task_id, slot, cfg.cell_timeout(slot[2], scale))
+        ready.append(task_id)
+
+    workers: List[_WorkerHandle] = []
+    worker_serial = 0
+    pool_failures = 0  # consecutive, reset by any successful result
+    degraded = False
+    interrupted = False
+    unfinished = len(tasks)
+
+    def _monotonic() -> float:
+        return time.monotonic()  # repro: allow[REP001] reason=host-side supervisor deadlines, never feed the simulation
+
+    def spawn_worker() -> Optional[_WorkerHandle]:
+        nonlocal worker_serial, pool_failures
+        worker_serial += 1
+        try:
+            handle = _WorkerHandle(ctx, f"w{worker_serial}", result_queue)
+        except Exception:
+            pool_failures += 1
+            return None
+        workers.append(handle)
+        return handle
+
+    def retire(handle: _WorkerHandle) -> None:
+        if handle in workers:
+            workers.remove(handle)
+
+    def settle_success(task: _Task, payload_text: str, attempt: int, wall_s: float,
+                       worker: str) -> None:
+        nonlocal unfinished, pool_failures
+        task.finished = True
+        unfinished -= 1
+        pool_failures = 0
+        _finish(task.slot, json.loads(payload_text), attempt, wall_s, worker)
+
+    def settle_failure(task: _Task, kind: str, error: str, worker: str) -> None:
+        nonlocal unfinished
+        task.finished = True
+        unfinished -= 1
+        _fail(task.slot, kind, error, task.attempts, worker)
+
+    def retry_or_fail(task: _Task, kind: str, error: str, worker: str) -> None:
+        spec, key = task.slot[2], task.slot[4]
+        final = task.attempts > cfg.max_retries or interrupted
+        if journal is not None and key is not None and kind != "timeout":
+            journal.cell_failed(
+                spec.name, key, task.attempts, error, kind=kind,
+                final=final, worker=worker,
+            )
+        if final:
+            settle_failure(task, kind, error, worker)
+        else:
+            counters["retries"] += 1
+            backoff = cfg.backoff_s * (2 ** (task.attempts - 1))
+            waiting.append((_monotonic() + backoff, task.task_id))
+
+    def handle_worker_loss(handle: _WorkerHandle, kind: str, error: str) -> None:
+        """A busy worker died or was killed; retry its task elsewhere."""
+        nonlocal pool_failures
+        task = handle.task
+        handle.task = None
+        handle.deadline = None
+        retire(handle)
+        if kind == "worker-died":
+            counters["worker_deaths"] += 1
+            pool_failures += 1
+            if journal is not None:
+                journal.note("worker_died", worker=handle.worker_id, cell=task.label)
+        if task is not None and not task.finished:
+            retry_or_fail(task, kind, error, handle.worker_id)
+
+    try:
+        while unfinished > 0:
+            if should_stop is not None and not interrupted and should_stop():
+                interrupted = True
+                report.interrupted = True
+                if journal is not None:
+                    journal.note("signal", action="drain in-flight, stop dispatching")
+                # Abandon everything not yet on a worker; it stays
+                # pending in the journal for --resume.
+                abandoned = len(ready) + len(waiting)
+                ready.clear()
+                waiting.clear()
+                report.skipped += abandoned
+                unfinished -= abandoned
+
+            now = _monotonic()
+
+            # Promote retry-backoff tasks whose wait elapsed.
+            if waiting and not interrupted:
+                still_waiting = []
+                for eligible_at, task_id in waiting:
+                    if now >= eligible_at:
+                        ready.append(task_id)
+                    else:
+                        still_waiting.append((eligible_at, task_id))
+                waiting[:] = still_waiting
+
+            # Degrade to serial when the pool keeps failing.
+            if pool_failures > cfg.max_pool_failures and not degraded:
+                degraded = True
+                break
+
+            # Dispatch ready tasks onto idle (alive) workers, growing the
+            # pool up to ``jobs``.
+            while ready:
+                handle = next(
+                    (w for w in workers if w.task is None and w.proc.is_alive()), None
+                )
+                if handle is None:
+                    if len(workers) >= jobs:
+                        break
+                    handle = spawn_worker()
+                    if handle is None:
+                        break
+                task = tasks[ready[0]]
+                task.attempts += 1
+                try:
+                    handle.task_queue.put(
+                        (
+                            task.task_id,
+                            task.attempts,
+                            task.slot[2].name,
+                            scale_dict,
+                            task.slot[3].as_dict(),
+                        )
+                    )
+                except Exception:
+                    task.attempts -= 1
+                    handle.kill()
+                    retire(handle)
+                    pool_failures += 1
+                    counters["pool_rebuilds"] += 1
+                    continue
+                ready.popleft()
+                handle.task = task
+                handle.attempt = task.attempts
+                handle.deadline = (
+                    now + task.timeout_s if task.timeout_s is not None else None
+                )
+                counters["dispatched"] += 1
+                spec, key = task.slot[2], task.slot[4]
+                if journal is not None and key is not None:
+                    journal.cell_dispatched(
+                        spec.name, key, task.attempts, handle.worker_id
+                    )
+
+            if unfinished <= 0:
+                break
+
+            # Wait for a result (bounded so deadlines/liveness stay fresh).
+            try:
+                message = result_queue.get(timeout=cfg.poll_s)
+            except queue_mod.Empty:
+                message = None
+            if message is not None:
+                task_id, attempt, ok, body, wall_s = message
+                task = tasks.get(task_id)
+                handle = next((w for w in workers if w.task is task), None)
+                worker_id = handle.worker_id if handle is not None else "w?"
+                if handle is not None and handle.attempt == attempt:
+                    handle.task = None
+                    handle.deadline = None
+                if task is not None and not task.finished:
+                    if ok:
+                        # A success is a success even if this attempt was
+                        # already abandoned: the payload is a pure function
+                        # of the cell, so the bytes are identical.
+                        settle_success(task, body, attempt, wall_s, worker_id)
+                    elif attempt == task.attempts:
+                        retry_or_fail(task, "exception", body, worker_id)
+                    # else: stale failure from an abandoned attempt; the
+                    # retry is already scheduled.
+
+            # Deadline + liveness sweep.
+            now = _monotonic()
+            for handle in list(workers):
+                if handle.task is None:
+                    if not handle.proc.is_alive():
+                        retire(handle)
+                    continue
+                if handle.task.finished:
+                    handle.task = None
+                    handle.deadline = None
+                    continue
+                if not handle.proc.is_alive():
+                    exit_code = handle.proc.exitcode
+                    handle_worker_loss(
+                        handle,
+                        "worker-died",
+                        f"worker process died (exit code {exit_code})",
+                    )
+                    counters["pool_rebuilds"] += 1
+                elif handle.deadline is not None and now >= handle.deadline:
+                    task = handle.task
+                    counters["timeouts"] += 1
+                    counters["pool_rebuilds"] += 1
+                    spec, key = task.slot[2], task.slot[4]
+                    final = task.attempts > cfg.max_retries or interrupted
+                    if journal is not None and key is not None:
+                        journal.cell_timeout(
+                            spec.name, key, task.attempts, task.timeout_s,
+                            final, handle.worker_id,
+                        )
+                    handle.kill()
+                    handle_worker_loss(
+                        handle,
+                        "timeout",
+                        f"cell exceeded {task.timeout_s:.1f}s wall-clock budget",
+                    )
+
+            if interrupted and not any(w.task is not None for w in workers):
+                break
+    finally:
+        for handle in list(workers):
+            handle.shutdown()
+        result_queue.close()
+
+    if degraded:
+        counters["degraded_serial"] = 1
+        if journal is not None:
+            journal.note(
+                "degraded_serial",
+                reason=f"pool failed {pool_failures} times in a row",
+            )
+        leftovers = sorted(
+            (task.slot for task in tasks.values() if not task.finished),
+            key=lambda slot: (slot[0], slot[1]),
+        )
+        _run_inline(leftovers, "inline-degraded")
+
+
+# ----------------------------------------------------------------------
+# resume planning
+# ----------------------------------------------------------------------
+@dataclass
+class ResumePlan:
+    """Everything ``--resume`` needs, derived from a replayed journal."""
+
+    state: RunState
+    specs: List[ExperimentSpec]
+    scale: ExperimentScale
+    jobs: int
+    #: Terminally failed cells not to re-dispatch (empty with --retry-failed).
+    skip_failed: Dict[Tuple[str, str], CellFailure]
+    #: Human-readable refusals: the journal's cells no longer match the
+    #: current source tree.
+    mismatches: List[str]
+
+
+def plan_resume(state: RunState, *, retry_failed: bool = False) -> ResumePlan:
+    """Verify a journal against the current source tree and plan the rerun.
+
+    Every experiment's recorded cell keys must match the keys the current
+    code produces (cell keys embed the source fingerprint, the scale, and
+    the params) — if the code changed, the plan carries a ``mismatches``
+    diff and the CLI refuses to resume.
+    """
+    specs = [get_spec(name) for name in state.specs]
+    scale = scale_from_dict(state.scale)
+    mismatches: List[str] = []
+    for spec in specs:
+        recorded = state.cells.get(spec.name)
+        if recorded is None:
+            continue  # never reached before the crash; nothing to verify
+        current = [cell_key(spec, scale, cell) for cell in spec.cells(scale)]
+        if list(recorded.keys()) != current:
+            fp_then = state.fingerprints.get(spec.name, "?")
+            fp_now = spec_fingerprint(spec)
+            if fp_then != fp_now:
+                detail = (
+                    f"source fingerprint changed ({fp_then[:12]} -> {fp_now[:12]})"
+                )
+            else:
+                detail = (
+                    f"cell grid changed ({len(recorded)} recorded vs "
+                    f"{len(current)} current cells)"
+                )
+            mismatches.append(f"{spec.name}: {detail}")
+
+    skip: Dict[Tuple[str, str], CellFailure] = {}
+    if not retry_failed:
+        for experiment, record in state.failed_cells():
+            skip[(experiment, record.key)] = CellFailure(
+                experiment=experiment,
+                params=record.params,
+                key=record.key,
+                kind="prior-failure",
+                error=record.error or record.state,
+                attempts=record.attempts,
+            )
+    return ResumePlan(
+        state=state,
+        specs=specs,
+        scale=scale,
+        jobs=state.jobs,
+        skip_failed=skip,
+        mismatches=mismatches,
+    )
 
 
 def run_spec(

@@ -77,5 +77,14 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 
 
 SPEC = register(
-    ExperimentSpec(name="fig01", title=TITLE, cells=_cells, cell_fn=_cell, merge=_merge)
+    ExperimentSpec(
+        name="fig01",
+        title=TITLE,
+        cells=_cells,
+        cell_fn=_cell,
+        merge=_merge,
+        # The motivation sweep's cells are the heaviest quick-scale cells
+        # in the registry (~3x a typical cell, BENCH_2).
+        cost_hint=3.0,
+    )
 )

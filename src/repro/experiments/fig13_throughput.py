@@ -84,6 +84,13 @@ def _merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
 
 SPEC = register(
     ExperimentSpec(
-        name="fig13", title=TITLE, cells=_make_cells, cell_fn=_cell, merge=_merge
+        name="fig13",
+        title=TITLE,
+        cells=_make_cells,
+        cell_fn=_cell,
+        merge=_merge,
+        # Contended 8-thread cells run well past the median quick cell;
+        # give the supervisor's timeout budget the headroom.
+        cost_hint=2.0,
     )
 )

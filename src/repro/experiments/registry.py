@@ -69,6 +69,10 @@ class ExperimentSpec:
     aliases: Tuple[str, ...] = ()
     #: Optional group name; ``--only <group>`` runs every member.
     group: str = ""
+    #: Relative expected wall-clock cost of one cell (1.0 = a typical
+    #: quick-scale cell).  The supervisor scales its per-cell timeout by
+    #: this, so one ``--timeout`` budget fits light and heavy grids alike.
+    cost_hint: float = 1.0
 
 
 _SPECS: Dict[str, ExperimentSpec] = {}

@@ -58,6 +58,9 @@ class ExperimentScale:
     #: Cold-start YCSB cells issue ``cold_coverage x dataset_pages`` total
     #: operations (the paper's regime: 32 M ops over a 16 M-record store).
     cold_coverage: float = 1.0
+    #: How much longer a cell runs at this scale relative to ``QUICK``;
+    #: the supervisor multiplies its per-cell timeout budget by this.
+    timeout_scale: float = 1.0
 
 
 QUICK = ExperimentScale(
@@ -80,6 +83,8 @@ PAPER_SHAPE = ExperimentScale(
     kpoold_period_ns=250_000.0,
     thread_counts=(1, 2, 4, 8),
     cold_coverage=3.0,
+    # fig13@paper-shape cells run ~7x their quick-scale time (BENCH_2).
+    timeout_scale=8.0,
 )
 
 

@@ -139,6 +139,113 @@ def write_chrome_trace(sink: TraceSink, path: str) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# run-journal timelines (host-side supervision events)
+# ----------------------------------------------------------------------
+def run_timeline(state: Any) -> Dict[str, Any]:
+    """Render a replayed run journal (:class:`repro.experiments.journal.RunState`)
+    as a Chrome trace: one track per worker, one slice per cell attempt
+    (``dispatched`` → ``done``/``failed``/``timeout``), one instant per
+    supervision note (worker deaths, pool rebuilds, signals, resumes).
+
+    This is the *host* timeline — wall-clock seconds since the run header,
+    scaled to trace microseconds — and deliberately lives in a separate
+    file from the simulated-time miss traces: the two time bases must
+    never share an export.
+    """
+    origin = state.started_ts or 0.0
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": f"run {state.run_id}"},
+        }
+    ]
+    tids: Dict[str, int] = {}
+
+    def tid_of(worker: str) -> int:
+        tid = tids.get(worker)
+        if tid is None:
+            tid = tids[worker] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": worker},
+                }
+            )
+        return tid
+
+    def rel_us(ts: Any) -> float:
+        return (float(ts) - origin) * 1e6 if isinstance(ts, (int, float)) else 0.0
+
+    open_attempts: Dict[tuple, Dict[str, Any]] = {}
+    for record in state.records:
+        kind = record.get("t")
+        if kind == "cell":
+            slot = (record.get("experiment"), record.get("key"), record.get("attempt"))
+            if record.get("state") == "dispatched":
+                open_attempts[slot] = record
+            elif slot in open_attempts:
+                start = open_attempts.pop(slot)
+                ts = rel_us(start.get("ts"))
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": f"{record.get('experiment')}#{str(record.get('key'))[:8]}",
+                        "cat": record.get("state"),
+                        "ts": ts,
+                        "dur": max(0.0, rel_us(record.get("ts")) - ts),
+                        "pid": 1,
+                        "tid": tid_of(start.get("worker", "w?")),
+                        "args": {
+                            "state": record.get("state"),
+                            "attempt": record.get("attempt"),
+                            "error": record.get("error"),
+                        },
+                    }
+                )
+        elif kind == "note":
+            events.append(
+                {
+                    "ph": "i",
+                    "name": record.get("name", "note"),
+                    "cat": "supervision",
+                    "ts": rel_us(record.get("ts")),
+                    "pid": 1,
+                    "tid": _INSTANT_TID,
+                    "s": "t",
+                    "args": {
+                        k: v
+                        for k, v in record.items()
+                        if k not in ("t", "ts", "name")
+                    },
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.experiments.journal",
+            "run_id": state.run_id,
+            "attempts_open_at_export": len(open_attempts),
+        },
+    }
+
+
+def write_run_timeline(state: Any, path: str) -> Dict[str, Any]:
+    """Write a run journal's host timeline as Chrome-trace JSON."""
+    data = run_timeline(state)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=1)
+        handle.write("\n")
+    return data
+
+
+# ----------------------------------------------------------------------
 # schema validation (tests and the CI smoke step use this)
 # ----------------------------------------------------------------------
 _PHASES = {"X", "i", "M", "B", "E"}

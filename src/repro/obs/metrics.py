@@ -163,3 +163,23 @@ def system_metrics(system: Any, label: str = "system") -> MetricsRegistry:
     if sw_pmshr is not None:
         registry.register_counter("swdp.pmshr", sw_pmshr.stats)
     return registry
+
+
+# ----------------------------------------------------------------------
+# wiring for one experiment run (host-side supervision, not a simulator)
+# ----------------------------------------------------------------------
+def run_metrics(supervision: Dict[str, int], cache: Any = None) -> MetricsRegistry:
+    """The run-level registry: supervision tallies plus cell-cache health.
+
+    Covers the engine's supervisor counters (``supervision.retries``,
+    ``supervision.timeouts``, ``supervision.worker_deaths``,
+    ``supervision.pool_rebuilds``, …) and — when a cache is in play — its
+    hit/miss/write tallies including ``cache.corrupt``, the count of
+    quarantined entries.  These are host-side execution metrics: they never
+    touch, and are never touched by, simulated time.
+    """
+    registry = MetricsRegistry("run")
+    registry.register_values("supervision", lambda: dict(supervision))
+    if cache is not None:
+        registry.register_counter("cache", cache.stats)
+    return registry

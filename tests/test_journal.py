@@ -1,0 +1,213 @@
+"""Tests for the run journal (append/replay/torn tails) and cache hygiene."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cache import CellCache
+from repro.experiments.journal import (
+    JOURNAL_NAME,
+    RUN_COMPLETE,
+    RUN_SUSPENDED,
+    RunJournal,
+    find_run,
+    list_runs,
+    load_state,
+)
+from repro.obs.export import run_timeline, validate_chrome_trace
+
+SCALE = {"name": "quick", "thread_counts": [1, 2]}
+
+
+def _journaled_run(tmp_path, run_id="r1"):
+    journal = RunJournal.create(
+        scale=SCALE, jobs=2, specs=["alpha"], run_id=run_id, root=tmp_path,
+        argv=["--only", "alpha"],
+    )
+    journal.record_cells("alpha", "fp-alpha", [("k1", {"x": 1}), ("k2", {"x": 2})])
+    journal.cell_dispatched("alpha", "k1", 1, "w1")
+    journal.cell_done("alpha", "k1", 1, 0.5, worker="w1")
+    journal.cell_dispatched("alpha", "k2", 1, "w2")
+    return journal
+
+
+# ----------------------------------------------------------------------
+# round trip
+# ----------------------------------------------------------------------
+def test_journal_round_trip(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.cell_failed("alpha", "k2", 1, "boom", kind="exception", final=False)
+    journal.cell_dispatched("alpha", "k2", 2, "w3")
+    journal.cell_done("alpha", "k2", 2, 0.25, worker="w3")
+    journal.run_end(RUN_COMPLETE, exit_code=0)
+    journal.close()
+
+    state = load_state(find_run("r1", tmp_path))
+    assert state.run_id == "r1"
+    assert state.jobs == 2
+    assert state.specs == ["alpha"]
+    assert state.argv == ["--only", "alpha"]
+    assert state.scale["name"] == "quick"
+    assert state.fingerprints == {"alpha": "fp-alpha"}
+    assert state.end_state == RUN_COMPLETE
+    assert state.exit_code == 0
+    assert state.torn_lines == 0
+    assert state.counts() == {
+        "pending": 0, "done": 2, "failed": 0, "timeout": 0, "dispatched": 0,
+    }
+    k2 = state.cell("alpha", "k2")
+    assert k2.attempts == 2
+    assert k2.transitions == [
+        ("dispatched", 1), ("failed", 1), ("dispatched", 2), ("done", 2),
+    ]
+    assert state.done_keys("alpha") == ["k1", "k2"]
+    assert state.failed_cells() == []
+
+
+def test_terminal_failure_and_timeout_are_queryable(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.cell_timeout("alpha", "k2", 1, 1.5, final=False, worker="w2")
+    journal.cell_dispatched("alpha", "k2", 2, "w3")
+    journal.cell_failed("alpha", "k2", 2, "still broken", final=True)
+    journal.run_end("failed", exit_code=1)
+    journal.close()
+
+    state = load_state(tmp_path / "r1")
+    failed = state.failed_cells()
+    assert [(e, r.key) for e, r in failed] == [("alpha", "k2")]
+    record = failed[0][1]
+    assert record.finished
+    assert record.error == "still broken"
+    assert record.params == {"x": 2}
+    assert state.unfinished_cells() == []
+
+
+def test_kill_leaves_unfinished_cells(tmp_path):
+    # No end record, k2 still dispatched: the post-kill resume shape.
+    journal = _journaled_run(tmp_path)
+    journal.close()
+    state = load_state(tmp_path / "r1")
+    assert state.end_state is None
+    assert [r.key for _, r in state.unfinished_cells()] == ["k2"]
+    assert state.done_keys("alpha") == ["k1"]
+
+
+# ----------------------------------------------------------------------
+# torn tails and replay tolerance
+# ----------------------------------------------------------------------
+def test_torn_final_line_is_tolerated(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.close()
+    path = tmp_path / "r1" / JOURNAL_NAME
+    with open(path, "a") as handle:
+        handle.write('{"t": "cell", "experiment": "alpha", "key": "k2", "sta')
+    state = load_state(tmp_path / "r1")
+    assert state.torn_lines == 1
+    # Everything before the torn tail still replays.
+    assert state.done_keys("alpha") == ["k1"]
+
+
+def test_record_cells_is_idempotent_on_resume(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.close()
+    resumed = RunJournal.attach("r1", tmp_path, argv=["--resume", "r1"])
+    resumed.record_cells("alpha", "fp-alpha", [("k1", {"x": 1}), ("k2", {"x": 2})])
+    resumed.cell_done("alpha", "k2", 1, 0.1, source="cache")
+    resumed.run_end(RUN_COMPLETE, exit_code=0)
+    resumed.close()
+
+    state = load_state(tmp_path / "r1")
+    assert state.resumes == 1
+    assert list(state.cells["alpha"].keys()) == ["k1", "k2"]
+    # The pre-resume `done` survives the re-recorded cell set.
+    assert state.done_keys("alpha") == ["k1", "k2"]
+
+
+def test_resume_note_clears_prior_end_state(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.run_end(RUN_SUSPENDED, exit_code=3)
+    journal.close()
+    assert load_state(tmp_path / "r1").end_state == RUN_SUSPENDED
+    RunJournal.attach("r1", tmp_path).close()
+    assert load_state(tmp_path / "r1").end_state is None
+
+
+def test_every_record_is_single_line_compact_json(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.run_end(RUN_COMPLETE, exit_code=0)
+    journal.close()
+    lines = (tmp_path / "r1" / JOURNAL_NAME).read_text().splitlines()
+    assert len(lines) >= 5
+    for line in lines:
+        record = json.loads(line)
+        assert record["t"] in {"run", "cells", "cell", "note", "end"}
+        assert isinstance(record["ts"], float)
+
+
+def test_find_run_unknown_lists_known_runs(tmp_path):
+    _journaled_run(tmp_path).close()
+    with pytest.raises(FileNotFoundError, match="r1"):
+        find_run("nope", tmp_path)
+
+
+def test_list_runs(tmp_path):
+    _journaled_run(tmp_path, run_id="a").close()
+    _journaled_run(tmp_path, run_id="b").close()
+    assert sorted(s.run_id for s in list_runs(tmp_path)) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# host-timeline export
+# ----------------------------------------------------------------------
+def test_run_timeline_is_valid_chrome_trace(tmp_path):
+    journal = _journaled_run(tmp_path)
+    journal.note("worker_died", worker="w2")
+    journal.cell_dispatched("alpha", "k2", 2, "w1")
+    journal.cell_done("alpha", "k2", 2, 0.2, worker="w1")
+    journal.run_end(RUN_COMPLETE, exit_code=0)
+    journal.close()
+    state = load_state(tmp_path / "r1")
+    trace = run_timeline(state)
+    assert validate_chrome_trace(trace) == []
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 2, "one slice per dispatched->terminal attempt"
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert any(e["name"] == "worker_died" for e in instants)
+
+
+# ----------------------------------------------------------------------
+# cache hygiene (quarantine + atomic put)
+# ----------------------------------------------------------------------
+def test_corrupt_cache_entry_is_quarantined(tmp_path):
+    cache = CellCache(tmp_path)
+    cache.put("exp", "k1", {"x": 1}, {"v": 2})
+    path = tmp_path / "exp" / "k1.json"
+    path.write_text("{not json")
+    assert cache.get("exp", "k1") is None
+    assert not path.exists()
+    assert (tmp_path / "exp" / "k1.json.corrupt").read_text() == "{not json"
+    assert cache.stats.as_dict()["corrupt"] == 1
+    # The quarantined entry now misses instead of re-quarantining.
+    assert cache.get("exp", "k1") is None
+    assert cache.stats.as_dict() == {"writes": 1, "corrupt": 1, "misses": 1}
+
+
+def test_wrong_key_entry_is_quarantined(tmp_path):
+    cache = CellCache(tmp_path)
+    cache.put("exp", "k1", {}, {"v": 1})
+    os.replace(tmp_path / "exp" / "k1.json", tmp_path / "exp" / "k2.json")
+    assert cache.get("exp", "k2") is None
+    assert (tmp_path / "exp" / "k2.json.corrupt").exists()
+    assert cache.stats.as_dict()["corrupt"] == 1
+
+
+def test_put_leaves_no_temp_files_and_hits_count(tmp_path):
+    cache = CellCache(tmp_path)
+    cache.put("exp", "k1", {"x": 1}, {"v": 2})
+    cache.put("exp", "k1", {"x": 1}, {"v": 3})  # overwrite is atomic too
+    assert cache.get("exp", "k1") == {"v": 3}
+    assert list((tmp_path / "exp").glob("*.tmp")) == []
+    stats = cache.stats.as_dict()
+    assert stats["writes"] == 2
+    assert stats["hits"] == 1
