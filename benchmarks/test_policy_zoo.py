@@ -1,0 +1,37 @@
+"""Bench for the reclaim-policy × prefetcher × path ablation grid."""
+
+
+def test_policy_zoo(run_experiment):
+    result = run_experiment("policy-zoo")
+    rows = {
+        (row["path"], row["policy"], row["prefetcher"], row["pattern"]): row
+        for row in result.rows
+    }
+
+    # Full grid shape: 3 paths x 5 policies x 2 patterns, with the three
+    # prefetchers swept on the hardware path only.
+    policies = {key[1] for key in rows}
+    assert policies == {"clock", "second-chance", "lru2", "arc", "happy"}
+    prefetchers_hw = {key[2] for key in rows if key[0] == "hwdp"}
+    assert prefetchers_hw == {"sequential", "stride", "markov"}
+    for path in ("osdp", "swdp"):
+        assert {key[2] for key in rows if key[0] == path} == {"-"}
+    assert len(rows) == len(result.rows) == 50
+
+    # Every cell saw real reclaim pressure — the grid exercises the
+    # policies, not just cold-start fills.
+    for row in result.rows:
+        assert row["reclaimed"] > 0, row
+
+    # The direction-aware stride detector covers the descending half of
+    # the up/down scan that the ascending-only sequential detector misses.
+    seq = rows[("hwdp", "clock", "sequential", "scan")]
+    stride = rows[("hwdp", "clock", "stride", "scan")]
+    assert stride["prefetches"] > seq["prefetches"]
+
+    # Prefetching only exists on the hardware path.
+    for key, row in rows.items():
+        if key[0] == "hwdp":
+            assert row["prefetches"] is not None
+        else:
+            assert row["prefetches"] is None

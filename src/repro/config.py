@@ -385,6 +385,12 @@ class SmuConfig:
     #: after two consecutive misses on adjacent PTEs, prefetch this many
     #: subsequent pages.  0 disables readahead (the paper's design point).
     readahead_degree: int = 0
+    #: Which prefetch policy drives the SMU readahead block (registered in
+    #: :mod:`repro.core.prefetcher`): ``"sequential"`` (default, the
+    #: ascending-stream detector), ``"stride"`` (direction-aware strides)
+    #: or ``"markov"`` (miss-stream successor prediction).  Validated when
+    #: the SMU is built; inert while ``readahead_degree`` is 0.
+    prefetcher: str = "sequential"
     #: Per-core free-page queues (§V "Enforcing OS-level Resource
     #: Management Policy"): instead of one global architectural queue, each
     #: logical core gets its own, letting the OS apply per-thread memory
@@ -452,6 +458,11 @@ class ControlPlaneConfig:
     kswapd_enabled: bool = True
     #: Per-page reclaim cost in kswapd (same work as direct reclaim).
     kswapd_page_reclaim_ns: float = 600.0
+    #: Page-replacement policy (registered in :mod:`repro.os.reclaim`):
+    #: ``"clock"`` (default two-list clock, §IV-C), ``"second-chance"``,
+    #: ``"lru2"``, ``"arc"`` or ``"happy"``.  Validated when the kernel is
+    #: built (config cannot import the OS layer).
+    reclaim_policy: str = "clock"
 
 
 # ----------------------------------------------------------------------

@@ -93,6 +93,24 @@ class FreePageQueue:
         self.stats.add("pop_empty")
         return PopResult(None, from_prefetch=False)
 
+    def give_back(self, pfn: int) -> bool:
+        """Consumer returns a popped-but-unused frame (dropped prefetch).
+
+        The frame goes back to the *head* of the queue — it was the next
+        frame anyway, and re-consuming it first keeps occupancy accounting
+        symmetric with the pop.  Returns False (frame not accepted) only
+        when the producer refilled the queue to capacity in the meantime;
+        the caller must then hand the frame to the global pool.
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.note_write(self)
+        if len(self._queue) >= self.depth:
+            self.stats.add("give_back_overflow")
+            return False
+        self._queue.appendleft(pfn)
+        self.stats.add("given_back")
+        return True
+
     def _refill_prefetch(self) -> None:
         """Eagerly stage entries into the SRAM buffer (hidden by device time)."""
         while self._queue and len(self._prefetch) < self.prefetch_entries:

@@ -33,7 +33,7 @@ from repro.config import SystemConfig
 from repro.core.host_controller import SmuHostController
 from repro.core.page_table_updater import PageTableUpdater
 from repro.core.pmshr import Pmshr
-from repro.core.prefetcher import SequentialReadahead
+from repro.core.prefetcher import create_prefetcher
 from repro.errors import SmuError
 from repro.obs import trace as obs
 from repro.sim import (
@@ -81,8 +81,12 @@ class Smu:
         #: Per-process outstanding-miss counts, for the munmap SMU barrier.
         self._outstanding_by_pid: Dict[int, int] = {}
         self._barrier_signal = Signal(sim, "smu-barrier")
-        #: §V extensions (inactive unless configured).
-        self.readahead = SequentialReadahead(self, smu_config.readahead_degree)
+        #: §V extensions (inactive unless configured).  The prefetch block
+        #: is pluggable (``SmuConfig.prefetcher``); ``readahead`` keeps its
+        #: historical name for the default sequential policy.
+        self.readahead = create_prefetcher(
+            smu_config.prefetcher, self, smu_config.readahead_degree
+        )
         # -- statistics ---------------------------------------------------
         self.misses_handled = 0
         self.misses_failed = 0

@@ -38,6 +38,7 @@ from repro.experiments import tail_latency  # noqa: F401
 from repro.experiments import variance  # noqa: F401
 from repro.experiments import resilience  # noqa: F401
 from repro.experiments import ablations  # noqa: F401
+from repro.experiments import policy_zoo  # noqa: F401
 from repro.experiments.engine import (
     CellFailure,
     ExperimentFailure,

@@ -8,6 +8,12 @@ from repro.os.kthreads import Kpoold, Kpted, Kswapd
 from repro.os.lru import LruLists, PageInfo
 from repro.os.page_cache import PageCache
 from repro.os.process import ProcessContext
+from repro.os.reclaim import (
+    ReclaimPolicy,
+    create_reclaim_policy,
+    reclaim_policy_names,
+    register_reclaim_policy,
+)
 from repro.os.vma import AddressSpaceLayout, MmapFlags, Vma
 
 __all__ = [
@@ -18,6 +24,10 @@ __all__ = [
     "File",
     "LruLists",
     "PageInfo",
+    "ReclaimPolicy",
+    "create_reclaim_policy",
+    "reclaim_policy_names",
+    "register_reclaim_policy",
     "PageCache",
     "ProcessContext",
     "Vma",

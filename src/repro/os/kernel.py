@@ -26,7 +26,8 @@ from repro.mem.physmem import FramePool
 from repro.os.blockio import BlockIoStack
 from repro.os.fault import PageFaultHandler
 from repro.os.filesystem import File, FileSystem
-from repro.os.lru import LruLists, PageInfo
+from repro.os.lru import PageInfo
+from repro.os.reclaim import ReclaimPolicy, create_reclaim_policy
 from repro.os.page_cache import PageCache
 from repro.os.process import ProcessContext
 from repro.os.vma import MmapFlags, Vma
@@ -88,7 +89,10 @@ class Kernel:
         self.fs = FileSystem(namespace)
         self.fs.add_remap_hook(self._on_block_remap)
         self.page_cache = PageCache()
-        self.lru = LruLists()
+        #: Pluggable page-replacement policy (``"clock"`` by default).
+        self.reclaim: ReclaimPolicy = create_reclaim_policy(
+            config.control_plane.reclaim_policy
+        )
         self.processes: List[ProcessContext] = []
         #: PFN → PageInfo for every frame the OS knows about.
         self._page_info: dict = {}
@@ -147,6 +151,28 @@ class Kernel:
         if command.context is not None:
             command.context.note_write_error()
 
+    @property
+    def lru(self) -> ReclaimPolicy:
+        """Historical name for the replacement policy (always ``reclaim``)."""
+        return self.reclaim
+
+    # ==================================================================
+    # page pinning
+    # ==================================================================
+    def pin_page(self, pfn: int) -> None:
+        """Exempt a resident frame from reclaim (DMA target, kernel hold)."""
+        page = self._page_info.get(pfn)
+        if page is None:
+            raise KernelError(f"cannot pin untracked PFN {pfn}")
+        page.pinned = True
+
+    def unpin_page(self, pfn: int) -> None:
+        """Make a pinned frame reclaimable again."""
+        page = self._page_info.get(pfn)
+        if page is None:
+            raise KernelError(f"cannot unpin untracked PFN {pfn}")
+        page.pinned = False
+
     # ==================================================================
     # processes
     # ==================================================================
@@ -181,7 +207,7 @@ class Kernel:
         target = self.config.memory.high_watermark - self.frame_pool.free_frames
         if target <= 0:
             return 0
-        victims = self.lru.select_victims(target)
+        victims = self.reclaim.select_victims(target)
         for start in range(0, len(victims), _CHARGE_BATCH):
             batch = victims[start : start + _CHARGE_BATCH]
             for page in batch:
@@ -307,7 +333,7 @@ class Kernel:
         page = self._page_info.get(pfn)
         if page is not None and (process, vma, vaddr) not in page.extra_mappings:
             page.extra_mappings.append((process, vma, vaddr))
-        self.lru.touch(pfn)
+        self.reclaim.touch(pfn)
 
     def hw_install_page(
         self, process: ProcessContext, vma: Vma, vaddr: int, walk: Any, pfn: int
@@ -354,7 +380,7 @@ class Kernel:
         sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             sanitizer.note("kernel.page_info", "write")
-        self.lru.insert(page)
+        self.reclaim.insert(page)
         self._page_info[pfn] = page
         if file is not None:
             self.page_cache.insert(file, file_page, pfn)
@@ -401,7 +427,7 @@ class Kernel:
     # access-bit sampling (called from ThreadContext.mem_access)
     # ==================================================================
     def note_access(self, pfn: int, is_write: bool) -> None:
-        self.lru.touch(pfn)
+        self.reclaim.touch(pfn)
         if is_write:
             page = self._page_info.get(pfn)
             if page is not None:
@@ -450,12 +476,20 @@ class Kernel:
             if take <= 0:
                 continue
             frames = self.frame_pool.alloc_batch(take)
-            queue.refill(frames)
+            accepted = queue.refill(frames)
+            if accepted < len(frames):
+                # ``want`` was computed before reclaim/charging yielded the
+                # CPU; a concurrent refill (kpoold vs sync fallback) may
+                # have filled the queue meanwhile and ``refill`` is bounded
+                # — return the rejected frames instead of leaking them.
+                for pfn in frames[accepted:]:
+                    self.frame_pool.free(pfn)
+                self.counters.add("refill.overflow_returned", len(frames) - accepted)
             yield from thread.kernel_phase(
                 self.config.control_plane.kpoold_page_refill_ns * len(frames),
                 f"refill_{reason}",
             )
-            refilled_total += len(frames)
+            refilled_total += accepted
         if refilled_total:
             self.counters.add(f"refill.{reason}_pages", refilled_total)
             sink = self.sim.trace
@@ -533,7 +567,7 @@ class Kernel:
                         process.page_table.set_pte(
                             vaddr, make_present_pte(cached, writable=writable)
                         )
-                        self.lru.touch(cached)
+                        self.reclaim.touch(cached)
                     else:
                         lba = file.lba_of_page(file_page)
                         process.page_table.set_pte(
@@ -656,7 +690,7 @@ class Kernel:
             if sanitizer is not None:
                 sanitizer.note("kernel.page_info", "write")
             self._page_info.pop(decoded.pfn, None)
-            self.lru.remove(decoded.pfn)
+            self.reclaim.remove(decoded.pfn)
             if page.file is not None:
                 self.page_cache.remove(page.file, page.file_page)
         self.frame_pool.free(decoded.pfn)

@@ -115,7 +115,7 @@ class Kswapd:
             target = (
                 kernel.config.memory.high_watermark - kernel.frame_pool.free_frames
             )
-            victims = kernel.lru.select_victims(min(self.BATCH, target))
+            victims = kernel.reclaim.select_victims(min(self.BATCH, target))
             if not victims:
                 return  # nothing reclaimable; direct reclaim/OOM will decide
             for page in victims:

@@ -9,6 +9,11 @@ Reclaim approximates Linux's two-list clock (the paper argues its 1-second
 kpted period is safe because a full LRU rotation takes ≥10 s): pages enter
 the *inactive* list, promotion to *active* happens on a touch, and victims
 are taken from the inactive head with one second chance.
+
+:class:`LruLists` is the default :class:`repro.os.reclaim.ReclaimPolicy`
+(registered as ``"clock"``); alternative policies live in
+:mod:`repro.os.reclaim` and are selected via
+``ControlPlaneConfig.reclaim_policy``.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Any, List, Optional
 
 from repro.errors import KernelError
 from repro.os.filesystem import File
+from repro.os.reclaim import ReclaimPolicy, register_reclaim_policy
 from repro.os.vma import Vma
 
 
@@ -37,6 +43,9 @@ class PageInfo:
     #: Second-chance/reference bit.
     referenced: bool = False
     dirty: bool = False
+    #: Pinned frames are never selected as reclaim victims (DMA targets,
+    #: kernel-held pages); every reclaim policy skips them.
+    pinned: bool = False
     #: Reverse map beyond the primary mapping: additional (process, vma,
     #: vaddr) triples created when another VMA maps the cached page.
     extra_mappings: List[Any] = field(default_factory=list)
@@ -56,14 +65,14 @@ class PageInfo:
         return 1 + len(self.extra_mappings)
 
 
-class LruLists:
-    """Active/inactive lists with second-chance reclaim."""
+@register_reclaim_policy("clock")
+class LruLists(ReclaimPolicy):
+    """Active/inactive lists with second-chance reclaim (the default)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._inactive: "OrderedDict[int, PageInfo]" = OrderedDict()
         self._active: "OrderedDict[int, PageInfo]" = OrderedDict()
-        self.insertions = 0
-        self.reclaims = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -100,6 +109,10 @@ class LruLists:
             if page.referenced:
                 del self._inactive[pfn]
                 page.active = True
+                # The promotion consumes the reference: a later demotion
+                # must not arrive back on the inactive list with a second
+                # chance it never earned.
+                page.referenced = False
                 self._active[pfn] = page
             else:
                 page.referenced = True
@@ -121,6 +134,7 @@ class LruLists:
 
         Referenced inactive pages get one more trip around the list; if the
         inactive list drains, the active head is demoted and considered.
+        Pinned pages rotate back untouched.
         """
         victims: List[PageInfo] = []
         rotations = 0
@@ -130,6 +144,9 @@ class LruLists:
             if self._inactive:
                 pfn, page = next(iter(self._inactive.items()))
                 del self._inactive[pfn]
+                if page.pinned:
+                    self._inactive[pfn] = page
+                    continue
                 if page.referenced:
                     page.referenced = False
                     self._inactive[pfn] = page  # second chance: back to tail

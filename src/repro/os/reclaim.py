@@ -1,0 +1,509 @@
+"""Pluggable page-replacement policies (ROADMAP item 5).
+
+The paper evaluates HWDP under exactly one reclaim policy — the two-list
+clock with second chance of §IV-C (:class:`repro.os.lru.LruLists`).  This
+module turns that hardcoded choice into a plugin point so the HWDP-vs-OSDP
+comparison can be re-run under real policy diversity (the ``policy-zoo``
+experiment grid).
+
+A :class:`ReclaimPolicy` owns the resident-page ordering the kernel
+consults for eviction.  The kernel calls exactly four mutating methods:
+
+* :meth:`~ReclaimPolicy.insert` — a page became resident;
+* :meth:`~ReclaimPolicy.touch` — an access-bit sample (every user access);
+* :meth:`~ReclaimPolicy.remove` — the page left residency outside reclaim
+  (munmap/teardown);
+* :meth:`~ReclaimPolicy.select_victims` — kswapd/direct reclaim asks for
+  up to ``count`` victims; the policy hands back pages it no longer tracks.
+
+Every policy honours ``PageInfo.pinned``: a pinned page is never selected
+as a victim (it rotates back instead), mirroring the nachos/xinu
+second-chance treatment of pinned frames.  Policies must be deterministic
+— no wall clock, no unseeded RNG, no unordered-set iteration feeding
+victim order (the ``repro.check`` linter enforces this).
+
+Shipped policies (registered names):
+
+* ``clock`` — the default two-list clock (:class:`repro.os.lru.LruLists`);
+* ``second-chance`` — single circular FIFO with a reference bit;
+* ``lru2`` — LRU-2: evict by *penultimate*-access time (pages referenced
+  only once leave first);
+* ``arc`` — adaptive replacement cache: recency (T1) vs frequency (T2)
+  lists balanced by ghost-hit feedback (B1/B2);
+* ``happy`` — a HAPPY-style hybrid *address-based* policy: recency order
+  cross-checked against per-region access frequency, so one hot region
+  cannot be drained by a cold streaming scan.
+
+Select a policy via ``ControlPlaneConfig.reclaim_policy``; add one by
+subclassing :class:`ReclaimPolicy` and decorating it with
+:func:`register_reclaim_policy` (see docs/policies.md).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import KernelError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; repro.os.lru imports us
+    from repro.os.lru import PageInfo
+
+
+class ReclaimPolicy(abc.ABC):
+    """Interface between the kernel and one page-replacement policy."""
+
+    #: Registry name (set by the :func:`register_reclaim_policy` decorator).
+    policy_name: str = "?"
+
+    def __init__(self) -> None:
+        self.insertions = 0
+        self.reclaims = 0
+
+    # -- bookkeeping the kernel drives ---------------------------------
+    @abc.abstractmethod
+    def insert(self, page: "PageInfo") -> None:
+        """Track a newly resident page (must reject duplicate PFNs)."""
+
+    @abc.abstractmethod
+    def touch(self, pfn: int) -> None:
+        """Record one access to ``pfn`` (no-op for untracked frames)."""
+
+    @abc.abstractmethod
+    def remove(self, pfn: int) -> Optional["PageInfo"]:
+        """Stop tracking ``pfn`` (teardown path); None if untracked."""
+
+    @abc.abstractmethod
+    def select_victims(self, count: int) -> List["PageInfo"]:
+        """Up to ``count`` eviction victims, removed from the policy.
+
+        Must terminate even when every page is pinned or referenced, and
+        must never return a pinned page.
+        """
+
+    # -- introspection (tests, experiments) ----------------------------
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def contains(self, pfn: int) -> bool: ...
+
+    @abc.abstractmethod
+    def get(self, pfn: int) -> Optional["PageInfo"]: ...
+
+    @property
+    def inactive_count(self) -> int:
+        """Pages the policy considers cold (policy-specific split)."""
+        return len(self)
+
+    @property
+    def active_count(self) -> int:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_POLICIES: Dict[str, Callable[[], ReclaimPolicy]] = {}
+
+
+def register_reclaim_policy(name: str):
+    """Class decorator: make a policy constructible by name."""
+
+    def decorator(cls):
+        if name in _POLICIES:
+            raise KernelError(f"reclaim policy {name!r} registered twice")
+        cls.policy_name = name
+        _POLICIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def reclaim_policy_names() -> List[str]:
+    """Every registered policy name, sorted."""
+    _ensure_builtin_policies()
+    return sorted(_POLICIES)
+
+
+def create_reclaim_policy(name: str) -> ReclaimPolicy:
+    """Instantiate a registered policy (``ControlPlaneConfig.reclaim_policy``)."""
+    _ensure_builtin_policies()
+    factory = _POLICIES.get(name)
+    if factory is None:
+        raise KernelError(
+            f"unknown reclaim policy {name!r}; known: {', '.join(sorted(_POLICIES))}"
+        )
+    return factory()
+
+
+def _ensure_builtin_policies() -> None:
+    # The default "clock" policy lives in repro.os.lru, which imports this
+    # module for the base class; importing it lazily here (instead of at
+    # module level) keeps the cycle one-directional.
+    from repro.os import lru  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# shared scaffolding for single-list policies
+# ----------------------------------------------------------------------
+class _SingleListPolicy(ReclaimPolicy):
+    """Common storage for policies that keep one ordered page dict."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pages: "OrderedDict[int, PageInfo]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def contains(self, pfn: int) -> bool:
+        return pfn in self._pages
+
+    def get(self, pfn: int) -> Optional["PageInfo"]:
+        return self._pages.get(pfn)
+
+    def _check_new(self, page: "PageInfo") -> None:
+        if self.contains(page.pfn):
+            raise KernelError(f"PFN {page.pfn} already tracked by {self.policy_name}")
+
+    def remove(self, pfn: int) -> Optional["PageInfo"]:
+        return self._pages.pop(pfn, None)
+
+
+# ----------------------------------------------------------------------
+# second-chance FIFO (the nachos/xinu circular-queue algorithm)
+# ----------------------------------------------------------------------
+@register_reclaim_policy("second-chance")
+class SecondChanceFifo(_SingleListPolicy):
+    """One circular FIFO with a reference bit and pinning.
+
+    The classic teaching-kernel clock: pages queue in arrival order; the
+    hand inspects the head, skips pinned pages, grants one more lap to
+    referenced pages (clearing the bit), and evicts the first page that is
+    neither.
+    """
+
+    def insert(self, page: "PageInfo") -> None:
+        self._check_new(page)
+        page.active = False
+        page.referenced = False
+        self._pages[page.pfn] = page
+        self.insertions += 1
+
+    def touch(self, pfn: int) -> None:
+        page = self._pages.get(pfn)
+        if page is not None:
+            page.referenced = True
+
+    def select_victims(self, count: int) -> List["PageInfo"]:
+        victims: List["PageInfo"] = []
+        rotations = 0
+        limit = 2 * len(self._pages) + count
+        while len(victims) < count and self._pages and rotations < limit:
+            rotations += 1
+            pfn, page = next(iter(self._pages.items()))
+            del self._pages[pfn]
+            if page.pinned:
+                self._pages[pfn] = page  # skip pinned frames entirely
+                continue
+            if page.referenced:
+                page.referenced = False
+                self._pages[pfn] = page  # one more lap
+                continue
+            victims.append(page)
+        self.reclaims += len(victims)
+        return victims
+
+
+# ----------------------------------------------------------------------
+# LRU-2
+# ----------------------------------------------------------------------
+@register_reclaim_policy("lru2")
+class Lru2(_SingleListPolicy):
+    """LRU-K with K=2: order pages by their penultimate access.
+
+    A logical clock ticks on every insert/touch.  Each page carries
+    ``(t_prev, t_last)``; victims are the pages with the smallest
+    ``t_prev`` (−1 until a second access), so pages referenced only once
+    evict first, in insertion order — the classic scan-resistance
+    argument for LRU-2 over LRU.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+        #: pfn → (penultimate access, last access); −1 = no second access.
+        self._stamps: Dict[int, Tuple[int, int]] = {}
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def insert(self, page: "PageInfo") -> None:
+        self._check_new(page)
+        page.active = False
+        page.referenced = False
+        self._pages[page.pfn] = page
+        self._stamps[page.pfn] = (-1, self._tick())
+        self.insertions += 1
+
+    def touch(self, pfn: int) -> None:
+        stamp = self._stamps.get(pfn)
+        if stamp is None:
+            return
+        self._stamps[pfn] = (stamp[1], self._tick())
+        page = self._pages[pfn]
+        page.active = True  # seen at least twice
+        page.referenced = True
+
+    def remove(self, pfn: int) -> Optional["PageInfo"]:
+        self._stamps.pop(pfn, None)
+        return super().remove(pfn)
+
+    def select_victims(self, count: int) -> List["PageInfo"]:
+        # (t_prev, t_last) is a total order: t_last is unique per page.
+        candidates = sorted(
+            (self._stamps[pfn] + (pfn,) for pfn, page in self._pages.items()
+             if not page.pinned),
+        )
+        victims: List["PageInfo"] = []
+        for _prev, _last, pfn in candidates[:count]:
+            victims.append(self._pages.pop(pfn))
+            del self._stamps[pfn]
+        self.reclaims += len(victims)
+        return victims
+
+    @property
+    def inactive_count(self) -> int:
+        return sum(1 for prev, _last in self._stamps.values() if prev < 0)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._stamps) - self.inactive_count
+
+
+# ----------------------------------------------------------------------
+# ARC (adaptive replacement cache)
+# ----------------------------------------------------------------------
+@register_reclaim_policy("arc")
+class Arc(ReclaimPolicy):
+    """ARC adapted to OS reclaim: T1 recency vs T2 frequency + ghosts.
+
+    Resident pages live on T1 (seen once) or T2 (seen again); evicted
+    pages leave a ghost key ``(pid, vpn)`` on B1/B2.  A fault that
+    re-inserts a ghosted page adapts the target T1 size ``p``: B1 hits
+    grow it (recency was underserved), B2 hits shrink it.  The cache
+    capacity is learned as the residency high-water mark — the OS, unlike
+    a fixed-size cache, discovers its budget from the watermarks.
+
+    Like the clock default, promotion T1→T2 takes a *second* touch (the
+    faulting access itself marks the page referenced), so a pure scan
+    stays in T1 and cannot flush T2.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._t1: "OrderedDict[int, PageInfo]" = OrderedDict()
+        self._t2: "OrderedDict[int, PageInfo]" = OrderedDict()
+        #: Ghost lists keyed by (pid, vpn) — PFNs recycle across pages.
+        self._b1: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._b2: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._p = 0.0
+        self._capacity = 0
+
+    # -- plumbing -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def contains(self, pfn: int) -> bool:
+        return pfn in self._t1 or pfn in self._t2
+
+    def get(self, pfn: int) -> Optional["PageInfo"]:
+        return self._t1.get(pfn) or self._t2.get(pfn)
+
+    @property
+    def inactive_count(self) -> int:
+        return len(self._t1)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._t2)
+
+    @staticmethod
+    def _key(page: "PageInfo") -> Tuple[int, int]:
+        return (page.process.pid, page.vpn)
+
+    # -- policy ---------------------------------------------------------
+    def insert(self, page: "PageInfo") -> None:
+        if self.contains(page.pfn):
+            raise KernelError(f"PFN {page.pfn} already tracked by arc")
+        page.active = False
+        page.referenced = False
+        key = self._key(page)
+        if key in self._b1:
+            # Recency ghost hit: grow T1's target share.
+            ratio = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(self._capacity), self._p + ratio)
+            del self._b1[key]
+            page.active = True
+            self._t2[page.pfn] = page
+        elif key in self._b2:
+            # Frequency ghost hit: shrink T1's target share.
+            ratio = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - ratio)
+            del self._b2[key]
+            page.active = True
+            self._t2[page.pfn] = page
+        else:
+            self._t1[page.pfn] = page
+        self._capacity = max(self._capacity, len(self))
+        self.insertions += 1
+
+    def touch(self, pfn: int) -> None:
+        page = self._t1.get(pfn)
+        if page is not None:
+            if page.referenced:
+                # Second touch since insert: promote to T2's MRU end.
+                del self._t1[pfn]
+                page.referenced = False
+                page.active = True
+                self._t2[pfn] = page
+            else:
+                page.referenced = True
+            return
+        page = self._t2.get(pfn)
+        if page is not None:
+            if page.referenced:
+                page.referenced = False
+                self._t2.move_to_end(pfn)
+            else:
+                page.referenced = True
+
+    def remove(self, pfn: int) -> Optional["PageInfo"]:
+        page = self._t1.pop(pfn, None)
+        if page is None:
+            page = self._t2.pop(pfn, None)
+        return page
+
+    def select_victims(self, count: int) -> List["PageInfo"]:
+        victims: List["PageInfo"] = []
+        rotations = 0
+        limit = 2 * len(self) + count
+        while len(victims) < count and len(self) and rotations < limit:
+            rotations += 1
+            # ARC's REPLACE rule: evict from T1 while it exceeds its
+            # target share p, else from T2.
+            if self._t1 and (len(self._t1) > self._p or not self._t2):
+                source, ghost = self._t1, self._b1
+            else:
+                source, ghost = self._t2, self._b2
+            pfn, page = next(iter(source.items()))
+            del source[pfn]
+            if page.pinned:
+                source[pfn] = page  # rotate pinned pages to the MRU end
+                continue
+            if page.referenced:
+                page.referenced = False
+                source[pfn] = page  # one more lap (clock parity)
+                continue
+            ghost[self._key(page)] = None
+            while len(ghost) > max(1, self._capacity):
+                ghost.popitem(last=False)
+            victims.append(page)
+        self.reclaims += len(victims)
+        return victims
+
+
+# ----------------------------------------------------------------------
+# HAPPY-style hybrid address-based policy
+# ----------------------------------------------------------------------
+@register_reclaim_policy("happy")
+class HappyHybrid(_SingleListPolicy):
+    """Hybrid address-based reclaim (after HAPPY, Ghasempour et al.).
+
+    HAPPY predicts a DRAM row-buffer policy per *address region* instead
+    of fixing one policy globally.  The reclaim analogue: keep the global
+    recency order, but before evicting, weigh the head of the list
+    against the access *frequency of its address region* (``2**region_bits``
+    consecutive pages of one address space).  Within a bounded scan
+    window the page from the coldest region goes first, so a one-pass
+    scan through a cold region cannot evict the working set of a hot one
+    — per-region history arbitrates between recency and frequency.
+
+    Region scores decay by halving once enough accesses accumulate,
+    keeping the predictor adaptive and the counters bounded.
+    """
+
+    #: Pages per scored region (16 pages = 64 KB).
+    region_bits = 4
+    #: How many list-head pages the victim scan weighs against each other.
+    scan_window = 16
+    #: Halve all region scores after this many accesses per tracked page.
+    decay_factor = 8
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._region_score: Dict[Tuple[int, int], int] = {}
+        self._accesses = 0
+
+    def _region(self, page: "PageInfo") -> Tuple[int, int]:
+        return (page.process.pid, page.vpn >> self.region_bits)
+
+    def _credit(self, page: "PageInfo") -> None:
+        region = self._region(page)
+        self._region_score[region] = self._region_score.get(region, 0) + 1
+        self._accesses += 1
+        if self._accesses >= self.decay_factor * max(64, len(self._pages)):
+            self._accesses = 0
+            # dict iteration is insertion-ordered, hence deterministic.
+            decayed = {
+                region: score // 2
+                for region, score in self._region_score.items()
+                if score // 2 > 0
+            }
+            self._region_score = decayed
+
+    def insert(self, page: "PageInfo") -> None:
+        self._check_new(page)
+        page.active = False
+        page.referenced = False
+        self._pages[page.pfn] = page
+        self.insertions += 1
+        self._credit(page)
+
+    def touch(self, pfn: int) -> None:
+        page = self._pages.get(pfn)
+        if page is None:
+            return
+        if page.referenced:
+            # Lazy MRU move (second touch), like the clock's promotion.
+            page.referenced = False
+            page.active = True
+            self._pages.move_to_end(pfn)
+        else:
+            page.referenced = True
+        self._credit(page)
+
+    def select_victims(self, count: int) -> List["PageInfo"]:
+        victims: List["PageInfo"] = []
+        while len(victims) < count and self._pages:
+            best_pfn = None
+            best_score = None
+            scanned = 0
+            for pfn, page in self._pages.items():
+                if scanned >= self.scan_window and best_pfn is not None:
+                    break
+                scanned += 1
+                if page.pinned:
+                    continue
+                score = self._region_score.get(self._region(page), 0)
+                # Strictly-less keeps ties on the oldest (first) page.
+                if best_score is None or score < best_score:
+                    best_pfn, best_score = pfn, score
+            if best_pfn is None:
+                break  # every tracked page is pinned
+            victims.append(self._pages.pop(best_pfn))
+        self.reclaims += len(victims)
+        return victims

@@ -15,6 +15,7 @@ from repro.workloads.distributions import (
 from repro.workloads.fio import FioRandomRead, FioSequentialRead
 from repro.workloads.graph import GraphBFS, SyntheticGraph
 from repro.workloads.kvstore import KVStore
+from repro.workloads.mixed import PolicyMixWorkload
 from repro.workloads.spec import SPEC_KERNELS, SpecCompute, SpecKernel
 from repro.workloads.ycsb import YCSB_MIXES, YcsbMix, YcsbWorkload
 
@@ -33,6 +34,7 @@ __all__ = [
     "GraphBFS",
     "SyntheticGraph",
     "KVStore",
+    "PolicyMixWorkload",
     "DbBenchReadRandom",
     "YcsbWorkload",
     "YcsbMix",

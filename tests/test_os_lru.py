@@ -101,6 +101,76 @@ class TestLruLists:
         assert len(victims) == 1
         assert len(lru) == 0
 
+    def test_promotion_clears_referenced(self):
+        # Regression: promotion must consume the reference bit — a page
+        # demoted later must not arrive on the inactive list with a free
+        # second chance it never earned.
+        lru = LruLists()
+        lru.insert(make_page(1))
+        lru.touch(1)
+        lru.touch(1)  # promotes inactive -> active
+        assert lru.get(1).referenced is False
+
+    def test_promote_demote_victim_cycle(self):
+        # Full clock cycle: insert -> promote -> demote -> evict.  After
+        # promotion (which consumes the reference) and demotion, the page
+        # must be evictable on the first inactive pass — under the old
+        # behaviour the stale reference bit bought it a second lap.
+        lru = LruLists()
+        lru.insert(make_page(1))
+        lru.touch(1)
+        lru.touch(1)  # active, reference consumed
+        assert lru.active_count == 1
+        victims = lru.select_victims(1)  # demote pass + inactive pass
+        assert [v.pfn for v in victims] == [1]
+        assert len(lru) == 0
+
+    def test_all_referenced_inactive_terminates(self):
+        # Rotation bound: every inactive page referenced; one full lap
+        # clears the bits, the second takes victims — no infinite loop.
+        lru = LruLists()
+        for pfn in range(5):
+            lru.insert(make_page(pfn))
+            lru.touch(pfn)  # referenced, still inactive
+        victims = lru.select_victims(5)
+        assert [v.pfn for v in victims] == [0, 1, 2, 3, 4]
+
+    def test_active_only_demotion_pass(self):
+        # Empty inactive list: victims must come via the demotion pass,
+        # oldest active first, with active/referenced cleared on the way.
+        lru = LruLists()
+        for pfn in range(3):
+            lru.insert(make_page(pfn))
+            lru.touch(pfn)
+            lru.touch(pfn)
+        assert lru.inactive_count == 0
+        victims = lru.select_victims(2)
+        assert [v.pfn for v in victims] == [0, 1]
+        assert all(not v.active and not v.referenced for v in victims)
+
+    def test_count_larger_than_residency(self):
+        # Asking for more victims than pages exist drains the lists and
+        # terminates (mixed active/inactive, some referenced).
+        lru = LruLists()
+        for pfn in range(4):
+            lru.insert(make_page(pfn))
+        lru.touch(0)  # referenced inactive
+        lru.touch(1)
+        lru.touch(1)  # active
+        victims = lru.select_victims(100)
+        assert sorted(v.pfn for v in victims) == [0, 1, 2, 3]
+        assert len(lru) == 0
+
+    def test_pinned_pages_never_selected(self):
+        lru = LruLists()
+        for pfn in range(3):
+            lru.insert(make_page(pfn))
+        lru.get(0).pinned = True
+        victims = lru.select_victims(3)
+        assert sorted(v.pfn for v in victims) == [1, 2]
+        assert lru.contains(0)  # pinned page rotated back
+        assert lru.select_victims(1) == []  # only the pinned page remains
+
     @given(st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True))
     @settings(max_examples=30, deadline=None)
     def test_property_victims_unique_and_tracked(self, pfns):

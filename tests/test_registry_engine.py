@@ -33,7 +33,7 @@ def test_registry_order_is_paper_order():
 def test_aliases_and_groups_resolve():
     assert registry.get_spec("tail").name == "tail-latency"
     ablations = registry.groups()["ablations"]
-    assert len(ablations) == 7
+    assert len(ablations) == 8
     specs = registry.resolve(["ablations", "fig01", "tail"])
     assert [s.name for s in specs][:2] == [ablations[0], ablations[1]]
     assert specs[-2].name == "fig01"
