@@ -1,0 +1,21 @@
+PYTHON ?= python
+
+.PHONY: lint baseline test tables
+
+# Full static-analysis suite over src/, against the committed (empty)
+# baseline -- the same invocation CI runs.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.check lint src/ --baseline check-baseline.json
+
+# Re-record the baseline (only for landing a new rule ahead of its last
+# fix; the committed file is expected to stay empty).
+baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.check lint src/ --write-baseline check-baseline.json
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Re-render every recorded table and diff against the seed recordings.
+tables:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --jobs 2 --no-cache --out tables-out
+	diff -r tables-out benchmarks/output

@@ -8,10 +8,16 @@ all time through :attr:`repro.sim.engine.Simulator.now`, and no iteration
 order ever leaks into scheduling or statistics.  This package enforces
 those rules mechanically, in two halves:
 
-* a **static linter** (``python -m repro.check lint src/``) — a custom
-  AST pass with DES-specific rules (REP001–REP006, see
-  :mod:`repro.check.rules`) and per-line
-  ``# repro: allow[RULE] reason=...`` suppression pragmas;
+* a **static analysis suite** (``python -m repro.check lint src/``) —
+  per-function AST rules (REP001–REP006) plus whole-program dataflow
+  analyses on a CFG + worklist framework with one-level call summaries
+  (:mod:`repro.check.cfg`, :mod:`repro.check.dataflow`,
+  :mod:`repro.check.summaries`): unit consistency (REP101–REP103),
+  frame/PMSHR conservation (REP111–REP112), and hot-path allocation
+  (REP121–REP123); suppression via per-line
+  ``# repro: allow[RULE] reason=...`` pragmas, ``# repro: hot-path``
+  markers, and a committed findings baseline
+  (:mod:`repro.check.baseline`);
 * a **runtime simulation-order sanitizer**
   (:class:`repro.check.sanitizer.SimSanitizer`) — opt-in like
   :class:`repro.obs.trace.TraceSink`, it tags every mutation of a shared
@@ -22,17 +28,33 @@ those rules mechanically, in two halves:
 See ``docs/static-analysis.md`` for the rule catalogue and hazard model.
 """
 
+from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+from repro.check.cfg import Cfg, build_cfg
+from repro.check.dataflow import ForwardAnalysis, run_forward
 from repro.check.linter import Diagnostic, lint_paths, lint_source
 from repro.check.rules import RULES, Rule
 from repro.check.sanitizer import SanitizerReport, SimSanitizer, TieBreakHazard
+from repro.check.sarif import to_sarif
+from repro.check.summaries import FunctionSummary, ProjectSummary, build_project
 
 __all__ = [
+    "Cfg",
     "Diagnostic",
+    "ForwardAnalysis",
+    "FunctionSummary",
+    "ProjectSummary",
     "RULES",
     "Rule",
     "SanitizerReport",
     "SimSanitizer",
     "TieBreakHazard",
+    "apply_baseline",
+    "build_cfg",
+    "build_project",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "run_forward",
+    "to_sarif",
+    "write_baseline",
 ]

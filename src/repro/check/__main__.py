@@ -1,9 +1,12 @@
-"""Command-line entry point: ``python -m repro.check``.
+"""Command-line entry point: ``python -m repro.check`` (or ``repro-check``).
 
 Usage::
 
     python -m repro.check lint src/                # lint a tree (exit 1 on findings)
     python -m repro.check lint file.py --format json
+    python -m repro.check lint src/ --format sarif > findings.sarif
+    python -m repro.check lint src/ --baseline check-baseline.json
+    python -m repro.check lint src/ --write-baseline check-baseline.json
     python -m repro.check rules                    # print the rule catalogue
 
 Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage error.
@@ -16,14 +19,16 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.check.baseline import apply_baseline, load_baseline, write_baseline
 from repro.check.linter import lint_paths
 from repro.check.rules import RULES, UNUSED_PRAGMA
+from repro.check.sarif import to_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check",
-        description="Determinism linter for the DES core.",
+        description="Determinism linter and dataflow analyses for the DES core.",
     )
     commands = parser.add_subparsers(dest="command")
 
@@ -31,9 +36,21 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="+", metavar="PATH", help="files or directories")
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="diagnostic output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="drop findings recorded in this baseline file "
+        "(see repro.check.baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and "
+        "exit 0",
     )
 
     commands.add_parser("rules", help="print the rule catalogue and exit")
@@ -56,6 +73,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     diagnostics = lint_paths(args.paths)
+    if args.baseline:
+        diagnostics = apply_baseline(diagnostics, load_baseline(args.baseline))
+    if args.write_baseline:
+        write_baseline(args.write_baseline, diagnostics)
+        print(
+            f"baseline with {len(diagnostics)} finding(s) written to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
     if args.format == "json":
         print(
             json.dumps(
@@ -72,6 +99,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 indent=1,
             )
         )
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(diagnostics), indent=1))
     else:
         for diagnostic in diagnostics:
             print(diagnostic.format())

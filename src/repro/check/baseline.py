@@ -1,0 +1,83 @@
+"""Baseline files: accepted pre-existing findings, keyed to survive drift.
+
+A baseline entry is ``(path, rule, message)`` plus an occurrence count —
+deliberately *not* a line number, so unrelated edits above a deferred
+finding don't invalidate the baseline.  Applying a baseline removes up
+to ``count`` matching diagnostics per key; anything beyond the recorded
+count (a regression) still fails the lint.
+
+Paths are stored relative to the current working directory in POSIX
+form, so a committed baseline is stable across checkouts.
+
+The repo's committed ``check-baseline.json`` is intentionally empty:
+every finding the suite raises on ``src/`` today is either fixed or
+carries a reasoned ``allow`` pragma.  The file exists so CI pins the
+workflow (and so a future PR that must defer a finding has somewhere
+explicit — and reviewed — to record it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.check.linter import Diagnostic
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def _relative(path: str) -> str:
+    try:
+        return Path(os.path.relpath(path)).as_posix()
+    except ValueError:  # pragma: no cover - different drive on Windows
+        return Path(path).as_posix()
+
+
+def _key(diagnostic: Diagnostic) -> Key:
+    return (_relative(diagnostic.path), diagnostic.rule, diagnostic.message)
+
+
+def write_baseline(path: str, diagnostics: List[Diagnostic]) -> None:
+    """Record the given findings as the accepted baseline."""
+    counts: Dict[Key, int] = {}
+    for diagnostic in diagnostics:
+        counts[_key(diagnostic)] = counts.get(_key(diagnostic), 0) + 1
+    findings = [
+        {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def load_baseline(path: str) -> Dict[Key, int]:
+    """Parse a baseline file into key → accepted occurrence count."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    counts: Dict[Key, int] = {}
+    for entry in payload.get("findings", []):
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    diagnostics: List[Diagnostic], baseline: Dict[Key, int]
+) -> List[Diagnostic]:
+    """Drop diagnostics covered by the baseline (up to each key's count)."""
+    remaining = dict(baseline)
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = _key(diagnostic)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(diagnostic)
+    return kept

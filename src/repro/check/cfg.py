@@ -1,0 +1,356 @@
+"""Statement-level control-flow graphs for the dataflow analyses.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` into a :class:`Cfg` whose
+nodes are individual statements (plus synthetic entry / exit / raise-exit
+nodes) and whose edges carry the branch condition they are guarded by, so
+analyses can refine facts along ``True``/``False`` outcomes
+(:meth:`repro.check.dataflow.ForwardAnalysis.refine`).
+
+Shape of the graph, and the deliberate approximations:
+
+* ``if``/``while`` produce a *test* node with condition-labelled out-edges;
+  a ``while`` with a truthy constant test (``while True:``) gets no false
+  edge — the loop provably never exits normally, and a phantom exit edge
+  would turn every ``while True: ... return`` into a spurious leak path.
+* ``for`` produces a test node with unlabelled body/exhausted edges (the
+  implicit "more items" condition is not a refinable expression).
+* ``try``: every statement lexically inside a ``try`` that has ``except``
+  handlers gets an *exception* edge to each handler.  Exception edges
+  propagate the statement's **pre**-state (the exception may fire before
+  the statement's effect lands).  Statements outside any handler-bearing
+  ``try`` get no exception edges: modelling "any call may raise" globally
+  would route every acquisition straight to the raise-exit and drown the
+  conservation analysis in false leaks.  Explicit ``raise`` statements
+  *always* create exceptional flow — to the innermost enclosing handlers
+  if any, else through the enclosing ``finally`` blocks to the raise-exit.
+* ``finally`` bodies are duplicated per route (normal completion vs.
+  ``return``/``break``/``continue``/``raise`` unwinding), so facts from an
+  exceptional route never bleed into the normal-exit state.  A statement
+  may therefore appear in more than one node; coverage means "at least
+  one node", not "exactly one".
+* Nested ``def``/``class``/``lambda`` bodies are opaque single statements;
+  callers analyse them separately.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise-exit"
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control-flow edge, optionally guarded by a branch condition."""
+
+    src: int
+    dst: int
+    #: The branch test this edge is guarded by (``if``/``while`` only).
+    cond: Optional[ast.expr] = None
+    #: Outcome of :attr:`cond` along this edge.
+    polarity: Optional[bool] = None
+    #: ``"flow"`` | ``"back"`` (loop back-edge) | ``"exception"``.
+    kind: str = "flow"
+
+
+class Node:
+    """One CFG node: a statement plus its structural role."""
+
+    __slots__ = ("index", "stmt", "kind")
+
+    def __init__(self, index: int, stmt: Optional[ast.AST], kind: str) -> None:
+        self.index = index
+        self.stmt = stmt
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = type(self.stmt).__name__ if self.stmt is not None else "-"
+        return f"Node({self.index}, {self.kind}, {what})"
+
+
+class Cfg:
+    """A statement-level control-flow graph for one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: List[Node] = []
+        self.edges: List[Edge] = []
+        self.entry = -1
+        self.exit = -1
+        self.raise_exit = -1
+        self._succs: Optional[Dict[int, List[Edge]]] = None
+
+    def succs(self, index: int) -> List[Edge]:
+        if self._succs is None:
+            table: Dict[int, List[Edge]] = {node.index: [] for node in self.nodes}
+            for edge in self.edges:
+                table[edge.src].append(edge)
+            self._succs = table
+        return self._succs[index]
+
+    def statements(self) -> List[ast.stmt]:
+        """Every source statement of the function body, recursively."""
+        out: List[ast.stmt] = []
+
+        def walk(body: Sequence[ast.stmt]) -> None:
+            for stmt in body:
+                out.append(stmt)
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # opaque, matching the builder
+                for attr in ("body", "orelse", "finalbody"):
+                    nested = getattr(stmt, attr, None)
+                    if nested:
+                        walk(nested)
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        walk(handler.body)
+
+        walk(self.func.body)
+        return out
+
+
+#: A dangling out-edge waiting for its destination: (src, cond, polarity).
+_Fringe = List[Tuple[int, Optional[ast.expr], Optional[bool]]]
+
+
+class _LoopFrame:
+    __slots__ = ("continue_target", "break_outs")
+
+    def __init__(self, continue_target: int) -> None:
+        self.continue_target = continue_target
+        self.break_outs: _Fringe = []
+
+
+class _TryFrame:
+    __slots__ = ("handler_entries", "finalbody")
+
+    def __init__(self, handler_entries: List[int], finalbody: List[ast.stmt]) -> None:
+        self.handler_entries = handler_entries
+        self.finalbody = finalbody
+
+
+_Frame = Union[_LoopFrame, _TryFrame]
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = Cfg(func)
+
+    # -- graph primitives ----------------------------------------------
+    def _node(self, stmt: Optional[ast.AST], kind: str = "stmt") -> int:
+        node = Node(len(self.cfg.nodes), stmt, kind)
+        self.cfg.nodes.append(node)
+        return node.index
+
+    def _edge(
+        self,
+        src: int,
+        dst: int,
+        cond: Optional[ast.expr] = None,
+        polarity: Optional[bool] = None,
+        kind: str = "flow",
+    ) -> None:
+        self.cfg.edges.append(Edge(src, dst, cond, polarity, kind))
+
+    def _connect(self, fringe: _Fringe, dst: int, kind: str = "flow") -> None:
+        for src, cond, polarity in fringe:
+            self._edge(src, dst, cond, polarity, kind)
+
+    # -- unwinding helpers ---------------------------------------------
+    def _finals_between(
+        self, frames: List[_Frame], stop: Optional[int]
+    ) -> List[List[ast.stmt]]:
+        """``finally`` bodies between the innermost frame and ``stop``
+        (exclusive), innermost first.  ``stop=None`` collects them all."""
+        finals: List[List[ast.stmt]] = []
+        lower = 0 if stop is None else stop + 1
+        for frame in reversed(frames[lower:]):
+            if isinstance(frame, _TryFrame) and frame.finalbody:
+                finals.append(frame.finalbody)
+        return finals
+
+    def _route(
+        self,
+        fringe: _Fringe,
+        finals: List[List[ast.stmt]],
+        frames: List[_Frame],
+    ) -> _Fringe:
+        """Thread ``fringe`` through duplicated copies of ``finals``."""
+        for finalbody in finals:
+            fringe = self._block(fringe, finalbody, frames)
+        return fringe
+
+    def _innermost_handlers(
+        self, frames: List[_Frame]
+    ) -> Tuple[Optional[int], List[int]]:
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            if isinstance(frame, _TryFrame) and frame.handler_entries:
+                return index, frame.handler_entries
+        return None, []
+
+    # -- statement dispatch --------------------------------------------
+    def _block(
+        self, fringe: _Fringe, stmts: Sequence[ast.stmt], frames: List[_Frame]
+    ) -> _Fringe:
+        for stmt in stmts:
+            fringe = self._stmt(fringe, stmt, frames)
+        return fringe
+
+    def _exception_edges(self, index: int, frames: List[_Frame]) -> None:
+        _, handlers = self._innermost_handlers(frames)
+        for handler in handlers:
+            self._edge(index, handler, kind="exception")
+
+    def _stmt(
+        self, fringe: _Fringe, stmt: ast.stmt, frames: List[_Frame]
+    ) -> _Fringe:
+        if isinstance(stmt, ast.If):
+            return self._if(fringe, stmt, frames)
+        if isinstance(stmt, ast.While):
+            return self._while(fringe, stmt, frames)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(fringe, stmt, frames)
+        if isinstance(stmt, ast.Try):
+            return self._try(fringe, stmt, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            index = self._node(stmt)
+            self._connect(fringe, index)
+            self._exception_edges(index, frames)
+            return self._block([(index, None, None)], stmt.body, frames)
+        if isinstance(stmt, ast.Return):
+            index = self._node(stmt)
+            self._connect(fringe, index)
+            out = self._route(
+                [(index, None, None)], self._finals_between(frames, None), []
+            )
+            self._connect(out, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            index = self._node(stmt)
+            self._connect(fringe, index)
+            stop, handlers = self._innermost_handlers(frames)
+            out = self._route(
+                [(index, None, None)],
+                self._finals_between(frames, stop),
+                frames[: stop + 1] if stop is not None else [],
+            )
+            if handlers:
+                for handler in handlers:
+                    self._connect(out, handler, kind="exception")
+            else:
+                self._connect(out, self.cfg.raise_exit, kind="exception")
+            return []
+        if isinstance(stmt, ast.Break):
+            index = self._node(stmt)
+            self._connect(fringe, index)
+            for frame_index in range(len(frames) - 1, -1, -1):
+                if isinstance(frames[frame_index], _LoopFrame):
+                    loop = frames[frame_index]
+                    out = self._route(
+                        [(index, None, None)],
+                        self._finals_between(frames, frame_index),
+                        frames[: frame_index + 1],
+                    )
+                    loop.break_outs.extend(out)
+                    break
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self._node(stmt)
+            self._connect(fringe, index)
+            for frame_index in range(len(frames) - 1, -1, -1):
+                if isinstance(frames[frame_index], _LoopFrame):
+                    loop = frames[frame_index]
+                    out = self._route(
+                        [(index, None, None)],
+                        self._finals_between(frames, frame_index),
+                        frames[: frame_index + 1],
+                    )
+                    self._connect(out, loop.continue_target, kind="back")
+                    break
+            return []
+        # Simple statement (including opaque nested def / class).
+        index = self._node(stmt)
+        self._connect(fringe, index)
+        self._exception_edges(index, frames)
+        return [(index, None, None)]
+
+    def _if(self, fringe: _Fringe, stmt: ast.If, frames: List[_Frame]) -> _Fringe:
+        test = self._node(stmt, "test")
+        self._connect(fringe, test)
+        self._exception_edges(test, frames)
+        out = self._block([(test, stmt.test, True)], stmt.body, frames)
+        if stmt.orelse:
+            out += self._block([(test, stmt.test, False)], stmt.orelse, frames)
+        else:
+            out += [(test, stmt.test, False)]
+        return out
+
+    def _while(self, fringe: _Fringe, stmt: ast.While, frames: List[_Frame]) -> _Fringe:
+        test = self._node(stmt, "test")
+        self._connect(fringe, test)
+        self._exception_edges(test, frames)
+        loop = _LoopFrame(continue_target=test)
+        body_out = self._block([(test, stmt.test, True)], stmt.body, frames + [loop])
+        self._connect(body_out, test, kind="back")
+        infinite = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        out: _Fringe = []
+        if not infinite:
+            exhausted: _Fringe = [(test, stmt.test, False)]
+            if stmt.orelse:
+                exhausted = self._block(exhausted, stmt.orelse, frames)
+            out += exhausted
+        out += loop.break_outs
+        return out
+
+    def _for(
+        self, fringe: _Fringe, stmt: Union[ast.For, ast.AsyncFor], frames: List[_Frame]
+    ) -> _Fringe:
+        test = self._node(stmt, "test")
+        self._connect(fringe, test)
+        self._exception_edges(test, frames)
+        loop = _LoopFrame(continue_target=test)
+        body_out = self._block([(test, None, None)], stmt.body, frames + [loop])
+        self._connect(body_out, test, kind="back")
+        exhausted: _Fringe = [(test, None, None)]
+        if stmt.orelse:
+            exhausted = self._block(exhausted, stmt.orelse, frames)
+        return exhausted + loop.break_outs
+
+    def _try(self, fringe: _Fringe, stmt: ast.Try, frames: List[_Frame]) -> _Fringe:
+        entry = self._node(stmt, "try")
+        self._connect(fringe, entry)
+        self._exception_edges(entry, frames)
+        handler_entries = [self._node(h, "handler") for h in stmt.handlers]
+        frame = _TryFrame(handler_entries, stmt.finalbody)
+        body_out = self._block([(entry, None, None)], stmt.body, frames + [frame])
+        if stmt.orelse:
+            body_out = self._block(body_out, stmt.orelse, frames + [frame])
+        # Handler bodies: exceptions raised inside a handler propagate
+        # outwards, but still run this try's finally.
+        escape = _TryFrame([], stmt.finalbody)
+        for handler, handler_entry in zip(stmt.handlers, handler_entries):
+            body_out += self._block(
+                [(handler_entry, None, None)], handler.body, frames + [escape]
+            )
+        if stmt.finalbody:
+            body_out = self._block(body_out, stmt.finalbody, frames)
+        return body_out
+
+
+def build_cfg(func: FunctionNode) -> Cfg:
+    """Build the statement-level CFG for one function definition."""
+    builder = _Builder(func)
+    cfg = builder.cfg
+    cfg.entry = builder._node(func, ENTRY)
+    cfg.exit = builder._node(None, EXIT)
+    cfg.raise_exit = builder._node(None, RAISE_EXIT)
+    out = builder._block([(cfg.entry, None, None)], func.body, [])
+    builder._connect(out, cfg.exit)
+    return cfg

@@ -1,0 +1,491 @@
+"""Resource-conservation analysis (REP111 frame leaks, REP112 PMSHR leaks).
+
+The static twin of ``repro/faults/invariants.py``: proves that every
+acquisition of a scarce simulated resource — a free-list frame
+(``FreePageQueue.pop`` / ``FramePool.try_alloc`` / functions whose
+summary says they return a frame) or a PMSHR entry (``Pmshr.allocate`` /
+``lookup_or_allocate``) — reaches a release or an ownership transfer on
+*every* CFG path, including exception edges and fault-degrade branches.
+
+Mechanics: each acquisition site becomes a *handle*; locals bound to the
+handle (including aliases like ``pfn = pop.pfn``) point at it, and the
+handle carries a set of per-path statuses (``acq`` = still owned).
+Releases and escapes clear the status; branch conditions refine it —
+``if pop.empty:`` / ``entry is None`` / ``pfn < 0`` mean the acquisition
+failed on that edge, and a false ``created`` flag from
+``lookup_or_allocate`` means another in-flight miss owns the entry.  A
+handle whose status still contains ``acq`` at the function exit (normal
+or raise) leaks.
+
+Ownership transfers recognised as releases: ``give_back`` / ``refill``,
+``FramePool.free``, PTE installs (``install_resident_page`` /
+``hw_install_page`` / ``map_cached_page``), ``Pmshr.release``,
+``*updater*.apply``, ``Completion.fire``, returning or yielding the
+handle, storing it into an attribute or container, and passing it to a
+function whose one-level summary releases that parameter.  Batch APIs
+returning lists (``alloc_batch``) are deliberately untracked.
+
+The same machinery also computes function summaries: with
+``params_as_handles=True`` every parameter starts as a pseudo-handle, so
+a helper that provably disposes of an argument on all paths exports a
+``releases_params`` fact, and a function returning a still-owned handle
+exports ``returns_handle``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.check.cfg import Cfg, Node, build_cfg
+from repro.check.dataflow import ForwardAnalysis, run_forward
+
+ACQ = "acq"
+OK = "ok"
+
+Finding = Tuple[str, ast.AST, str]
+Resolver = Callable[[ast.Call], Optional[object]]
+
+#: A variable's possible acquisition sites, kept as a sorted tuple so
+#: every consumer iterates them in a stable order.
+Hids = Tuple[int, ...]
+
+
+def _union(left: Hids, right: Hids) -> Hids:
+    if not right:
+        return left
+    if not left:
+        return right
+    return tuple(sorted(set(left) | set(right)))
+
+#: method name → substrings, one of which must appear in the receiver's
+#: dotted text (None = any receiver) for the call to count as a release
+#: of its handle-valued arguments.
+_RELEASERS: Dict[str, Optional[Tuple[str, ...]]] = {
+    "give_back": None,
+    "refill": None,
+    "free": ("pool", "frame"),
+    "release": ("pmshr",),
+    "install_resident_page": None,
+    "hw_install_page": None,
+    "map_cached_page": None,
+    "apply": ("updater",),
+    "fire": None,
+}
+
+
+def _dotted(expr: ast.expr) -> str:
+    """Loose dotted rendering of a call receiver (args elided)."""
+    parts: List[str] = []
+    node: Optional[ast.expr] = expr
+    while node is not None:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            node = None
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            node = None
+    return ".".join(reversed(parts))
+
+
+def _acquisition_kind(call: ast.Call) -> Optional[Tuple[str, bool]]:
+    """(resource kind, binds created-flag) for an acquiring call."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    receiver = _dotted(call.func.value).lower()
+    method = call.func.attr
+    if method == "pop" and ("free_queue" in receiver or "free_page" in receiver):
+        return ("frame", False)
+    if method == "try_alloc" and ("pool" in receiver or "frame" in receiver):
+        return ("frame", False)
+    if method == "allocate" and "pmshr" in receiver:
+        return ("pmshr", False)
+    if method == "lookup_or_allocate" and "pmshr" in receiver:
+        return ("pmshr", True)
+    return None
+
+
+def _unwrap_call(expr: ast.expr) -> Optional[ast.Call]:
+    if isinstance(expr, (ast.Await, ast.YieldFrom)):
+        expr = expr.value
+    return expr if isinstance(expr, ast.Call) else None
+
+
+@dataclass
+class _State:
+    """One dataflow fact: variable bindings plus per-handle statuses.
+
+    A variable maps to a sorted tuple of acquisition sites because a
+    rebound name (``pfn = try_alloc(); … pfn = try_alloc()``) refers to
+    different sites on different joined paths; releasing through the
+    name must settle every site it may denote.
+    """
+
+    vars: Dict[str, "Hids"] = field(default_factory=dict)
+    flags: Dict[str, int] = field(default_factory=dict)
+    handles: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(dict(self.vars), dict(self.flags), dict(self.handles))
+
+    def resolve(self, expr: ast.expr) -> "Hids":
+        """Handles bound to ``expr`` (a name, or any attribute off one)."""
+        node = expr
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return self.vars.get(node.id, ())
+        return ()
+
+    def settle(self, hids: "Hids") -> None:
+        for hid in hids:
+            if hid in self.handles:
+                self.handles[hid] = frozenset({OK})
+
+
+@dataclass
+class _HandleMeta:
+    kind: str
+    stmt: ast.AST
+    param: Optional[str] = None
+
+
+class ConservationAnalysis(ForwardAnalysis):
+    def __init__(
+        self,
+        resolver: Optional[Resolver],
+        params_as_handles: bool,
+    ) -> None:
+        self.resolver = resolver
+        self.params_as_handles = params_as_handles
+        self.meta: Dict[int, _HandleMeta] = {}
+
+    # -- lattice -------------------------------------------------------
+    def initial_state(self, cfg: Cfg) -> _State:
+        state = _State()
+        if self.params_as_handles:
+            arguments = cfg.func.args
+            params = [
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ]
+            for position, param in enumerate(params):
+                if param.arg == "self":
+                    continue
+                hid = -(position + 1)
+                state.vars[param.arg] = (hid,)
+                state.handles[hid] = frozenset({ACQ})
+                self.meta[hid] = _HandleMeta("param", cfg.func, param.arg)
+        return state
+
+    def join(self, left: _State, right: _State) -> _State:
+        merged = _State()
+        for name in set(left.vars) | set(right.vars):
+            merged.vars[name] = _union(
+                left.vars.get(name, ()), right.vars.get(name, ())
+            )
+        merged.flags = {
+            name: hid
+            for name, hid in left.flags.items()
+            if right.flags.get(name) == hid
+        }
+        for hid in set(left.handles) | set(right.handles):
+            merged.handles[hid] = left.handles.get(hid, frozenset()) | right.handles.get(
+                hid, frozenset()
+            )
+        return merged
+
+    # -- transfer ------------------------------------------------------
+    def transfer(self, node: Node, state: _State) -> _State:
+        stmt = node.stmt
+        if stmt is None or node.kind in ("entry", "exit", "raise-exit"):
+            return state
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state
+        out = state.copy()
+        for expr in self._effect_exprs(node):
+            self._apply_calls(expr, out)
+        if node.kind == "stmt":
+            if isinstance(stmt, ast.Assign):
+                self._assign(stmt.targets, stmt.value, stmt, node.index, out)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._assign([stmt.target], stmt.value, stmt, node.index, out)
+            elif isinstance(stmt, ast.AugAssign):
+                self._forget_target(stmt.target, out)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                out.settle(out.resolve(stmt.value))
+            elif isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, (ast.Yield, ast.YieldFrom)
+            ):
+                value = stmt.value.value
+                if value is not None:
+                    out.settle(out.resolve(value))
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    self._forget_target(target, out)
+        elif node.kind == "test" and isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._forget_target(stmt.target, out)
+        return out
+
+    def _effect_exprs(self, node: Node) -> List[ast.expr]:
+        stmt = node.stmt
+        if node.kind == "test":
+            if isinstance(stmt, (ast.If, ast.While)):
+                return [stmt.test]
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                return [stmt.iter]
+            return []
+        if node.kind in ("try", "handler"):
+            return []
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        return [child for child in ast.iter_child_nodes(stmt) if isinstance(child, ast.expr)]
+
+    def _apply_calls(self, expr: ast.expr, state: _State) -> None:
+        for call in (n for n in ast.walk(expr) if isinstance(n, ast.Call)):
+            name = (
+                call.func.attr
+                if isinstance(call.func, ast.Attribute)
+                else call.func.id
+                if isinstance(call.func, ast.Name)
+                else None
+            )
+            required = _RELEASERS.get(name or "")
+            if name in _RELEASERS and (
+                required is None
+                or any(
+                    token in _dotted(call.func).lower() for token in required
+                )
+            ):
+                for arg in call.args:
+                    state.settle(state.resolve(arg))
+                if isinstance(call.func, ast.Attribute):
+                    state.settle(state.resolve(call.func.value))
+                continue
+            summary = self.resolver(call) if self.resolver is not None else None
+            released = getattr(summary, "releases_params", None)
+            if summary is not None and released:
+                params: Tuple[str, ...] = getattr(summary, "params", ())
+                for position, arg in enumerate(call.args):
+                    if position < len(params) and params[position] in released:
+                        state.settle(state.resolve(arg))
+                for keyword in call.keywords:
+                    if keyword.arg in released:
+                        state.settle(state.resolve(keyword.value))
+
+    def _assign(
+        self,
+        targets: List[ast.expr],
+        value: ast.expr,
+        stmt: ast.stmt,
+        hid: int,
+        state: _State,
+    ) -> None:
+        call = _unwrap_call(value)
+        acquired = _acquisition_kind(call) if call is not None else None
+        if acquired is None and call is not None and self.resolver is not None:
+            summary = self.resolver(call)
+            kind = getattr(summary, "returns_handle", None)
+            if kind is not None:
+                acquired = (kind, False)
+        if acquired is not None:
+            kind, has_flag = acquired
+            self.meta.setdefault(hid, _HandleMeta(kind, stmt))
+            state.handles[hid] = frozenset({ACQ})
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    state.vars[target.id] = (hid,)
+                elif (
+                    has_flag
+                    and isinstance(target, ast.Tuple)
+                    and len(target.elts) == 2
+                    and all(isinstance(e, ast.Name) for e in target.elts)
+                ):
+                    state.vars[target.elts[0].id] = (hid,)
+                    state.flags[target.elts[1].id] = hid
+                else:
+                    # Acquisition into a structure we cannot track: treat
+                    # as an ownership transfer, not a leak.
+                    state.settle((hid,))
+            return
+        source = (
+            state.resolve(value)
+            if isinstance(value, (ast.Name, ast.Attribute))
+            else ()
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if source:
+                    state.vars[target.id] = source
+                else:
+                    state.vars.pop(target.id, None)
+                    state.flags.pop(target.id, None)
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                # Publishing the handle into an object or container is an
+                # ownership transfer (someone else releases it).
+                state.settle(source)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    self._forget_target(element, state)
+
+    def _forget_target(self, target: ast.expr, state: _State) -> None:
+        if isinstance(target, ast.Name):
+            state.vars.pop(target.id, None)
+            state.flags.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._forget_target(element, state)
+
+    # -- refinement ----------------------------------------------------
+    def refine(
+        self, cond: ast.expr, polarity: bool, state: _State
+    ) -> Optional[_State]:
+        while isinstance(cond, ast.UnaryOp) and isinstance(cond.op, ast.Not):
+            cond = cond.operand
+            polarity = not polarity
+        if isinstance(cond, ast.BoolOp):
+            wanted = isinstance(cond.op, ast.And)
+            if polarity == wanted:
+                for value in cond.values:
+                    refined = self.refine(value, polarity, state)
+                    if refined is not None:
+                        state = refined
+            return state
+        invalid = self._invalid_on(cond, polarity, state)
+        if invalid:
+            out = state.copy()
+            out.settle(invalid)
+            return out
+        return state
+
+    def _invalid_on(
+        self, cond: ast.expr, polarity: bool, state: _State
+    ) -> Hids:
+        """Handles proven absent/foreign when ``cond`` is ``polarity``."""
+        nothing: Hids = ()
+        if isinstance(cond, ast.Attribute) and cond.attr == "empty":
+            return state.resolve(cond.value) if polarity else nothing
+        if isinstance(cond, ast.Name):
+            if cond.id in state.flags and not polarity:
+                return (state.flags[cond.id],)
+            if cond.id in state.vars and not polarity:
+                return state.vars[cond.id]
+            return nothing
+        if isinstance(cond, ast.Compare) and len(cond.ops) == 1:
+            op = cond.ops[0]
+            left, right = cond.left, cond.comparators[0]
+            if isinstance(right, ast.Constant) and right.value is None:
+                hids = state.resolve(left)
+                if isinstance(op, ast.Is) and polarity:
+                    return hids
+                if isinstance(op, ast.IsNot) and not polarity:
+                    return hids
+                return nothing
+            if (
+                isinstance(right, ast.Constant)
+                and isinstance(right.value, (int, float))
+                and right.value == 0
+            ):
+                hids = state.resolve(left)
+                if isinstance(op, ast.Lt) and polarity:
+                    return hids
+                if isinstance(op, (ast.GtE, ast.Gt)) and not polarity:
+                    return hids
+        return nothing
+
+
+@dataclass
+class ConservationResult:
+    leaks: List[Finding]
+    returns_handle: Optional[str]
+    released_params: FrozenSet[str]
+
+
+_RULE_BY_KIND = {"frame": "REP111", "pmshr": "REP112"}
+_WHAT_BY_KIND = {
+    "frame": "free-list frame",
+    "pmshr": "PMSHR entry",
+}
+
+
+def analyze_conservation(
+    func: ast.AST,
+    resolver: Optional[Resolver] = None,
+    params_as_handles: bool = False,
+) -> ConservationResult:
+    """Run the conservation analysis over one function."""
+    analysis = ConservationAnalysis(resolver, params_as_handles)
+    cfg = build_cfg(func)
+    in_states = run_forward(cfg, analysis)
+
+    leaked: Dict[int, str] = {}
+    for exit_index, route in ((cfg.exit, "return"), (cfg.raise_exit, "raise")):
+        state = in_states.get(exit_index)
+        if state is None:
+            continue
+        for hid, status in state.handles.items():
+            if ACQ in status and hid not in leaked:
+                leaked[hid] = route
+
+    returns_handle: Optional[str] = None
+    for node in cfg.nodes:
+        if not (node.kind == "stmt" and isinstance(node.stmt, ast.Return)):
+            continue
+        state = in_states.get(node.index)
+        if state is None or node.stmt.value is None:
+            continue
+        for hid in state.resolve(node.stmt.value):
+            if ACQ not in state.handles.get(hid, frozenset()):
+                continue
+            meta = analysis.meta.get(hid)
+            if meta is not None and meta.kind in _RULE_BY_KIND:
+                returns_handle = meta.kind
+            # A returned handle is the caller's problem, not a leak here.
+            leaked.pop(hid, None)
+
+    findings: List[Finding] = []
+    for hid, route in sorted(
+        leaked.items(), key=lambda item: getattr(analysis.meta[item[0]].stmt, "lineno", 0)
+    ):
+        meta = analysis.meta[hid]
+        if meta.kind not in _RULE_BY_KIND:
+            continue  # pseudo-handles (parameters) are summary-only facts
+        findings.append(
+            (
+                _RULE_BY_KIND[meta.kind],
+                meta.stmt,
+                f"{_WHAT_BY_KIND[meta.kind]} acquired here is not released "
+                f"or installed on every path (can leak at function "
+                f"{route}) — the static twin of the runtime conservation "
+                "invariant",
+            )
+        )
+
+    released: FrozenSet[str] = frozenset()
+    if params_as_handles:
+        names: Set[str] = set()
+        for hid, meta in analysis.meta.items():
+            if hid >= 0 or meta.param is None:
+                continue
+            still_held = False
+            seen_exit = False
+            for exit_index in (cfg.exit, cfg.raise_exit):
+                state = in_states.get(exit_index)
+                if state is None:
+                    continue
+                seen_exit = True
+                if ACQ in state.handles.get(hid, frozenset()):
+                    still_held = True
+            if seen_exit and not still_held:
+                names.add(meta.param)
+        released = frozenset(names)
+
+    return ConservationResult(findings, returns_handle, released)

@@ -1,0 +1,87 @@
+"""A small forward dataflow engine over :mod:`repro.check.cfg` graphs.
+
+Analyses subclass :class:`ForwardAnalysis` and provide a join-semilattice
+of states plus a transfer function; :func:`run_forward` iterates a
+worklist to the fixpoint and returns the IN-state of every reachable
+node.  Two hooks make the engine fit the repro analyses:
+
+* *edge refinement* — condition-labelled edges (``if x is None:`` …) call
+  :meth:`ForwardAnalysis.refine` so path-sensitive facts (handle validity,
+  unit narrowing) can be sharpened per branch, or the edge declared
+  infeasible by returning ``None``;
+* *exception edges* propagate the **pre**-state of the raising statement,
+  since the exception may fire before the statement's effect lands.
+
+States must be usable with ``==`` (the engine detects convergence by
+equality) and must never be mutated in place — ``transfer``/``join``
+return fresh values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional
+
+import ast
+
+from repro.check.cfg import Cfg, Node
+
+State = Any
+
+
+class ForwardAnalysis:
+    """Base class for forward dataflow analyses (override the hooks)."""
+
+    def initial_state(self, cfg: Cfg) -> State:
+        raise NotImplementedError
+
+    def transfer(self, node: Node, state: State) -> State:
+        """OUT-state of ``node`` given its IN-state (pure, no mutation)."""
+        return state
+
+    def join(self, left: State, right: State) -> State:
+        """Least upper bound of two states meeting at a node."""
+        raise NotImplementedError
+
+    def refine(
+        self, cond: ast.expr, polarity: bool, state: State
+    ) -> Optional[State]:
+        """Sharpen ``state`` knowing ``cond`` evaluated to ``polarity``.
+
+        Return ``None`` to declare the edge infeasible.
+        """
+        return state
+
+
+def run_forward(cfg: Cfg, analysis: ForwardAnalysis) -> Dict[int, State]:
+    """Iterate to fixpoint; returns node index → IN-state (reachable only)."""
+    in_states: Dict[int, State] = {cfg.entry: analysis.initial_state(cfg)}
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+    # Safety valve: finite lattices converge in O(nodes * lattice height);
+    # anything past this bound is an analysis bug, not a big function.
+    budget = 256 * (len(cfg.nodes) + 1)
+    while worklist:
+        budget -= 1
+        if budget < 0:
+            raise RuntimeError(
+                f"dataflow did not converge on {cfg.func.name!r}"
+            )
+        index = worklist.popleft()
+        queued.discard(index)
+        pre = in_states[index]
+        post = analysis.transfer(cfg.nodes[index], pre)
+        for edge in cfg.succs(index):
+            state = pre if edge.kind == "exception" else post
+            if edge.cond is not None and edge.polarity is not None:
+                state = analysis.refine(edge.cond, edge.polarity, state)
+                if state is None:
+                    continue
+            current = in_states.get(edge.dst)
+            merged = state if current is None else analysis.join(current, state)
+            if current is None or merged != current:
+                in_states[edge.dst] = merged
+                if edge.dst not in queued:
+                    queued.add(edge.dst)
+                    worklist.append(edge.dst)
+    return in_states

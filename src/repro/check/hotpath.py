@@ -1,0 +1,302 @@
+"""Hot-path allocation analysis (REP121–REP123).
+
+Functions marked with a ``# repro: hot-path`` comment (on the ``def``
+line, the line above it, or above the first decorator) are the dispatch
+loops whose cost PR 5 measured into the recorded BENCH trajectory —
+``Simulator.schedule``/``step``, ``Smu._handle_miss``,
+``PageFaultHandler._dispatch`` and friends.  Inside them (and inside
+functions lexically nested in them) three things are flagged:
+
+* **REP121** — per-call allocations: list/dict/set displays,
+  comprehensions, generator expressions, lambdas, and nested ``def``
+  (closure objects are allocated per invocation).
+* **REP122** — per-call string building: f-strings with placeholders,
+  ``"…" % args``, ``"…".format(...)``.
+* **REP123** — repeated attribute chains of depth ≥ 2 inside a loop
+  (``self.kernel.counters.add`` twice per iteration): each lookup walks
+  the descriptor protocol per access; hoist a bound local before the
+  loop, like the pre-hoisted locals in ``Simulator._run_unbounded``.
+
+Cold and sanctioned spots are exempt: anything inside a ``raise``, an
+``assert``, or an observation guard — ``if <subject> is not None:``
+where the subject names an off-by-default hook (trace / span /
+sanitizer / metrics / probe / observer / hook / stats_sink) — the
+zero-cost-when-off idiom the observability layer is built on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+Finding = Tuple[str, ast.AST, str]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Receiver-name fragments that mark an ``is not None`` test as an
+#: observation guard (hot-path work behind it is off in measured runs).
+_GUARD_TOKENS = (
+    "trace",
+    "span",
+    "sanitizer",
+    "metrics",
+    "probe",
+    "observer",
+    "hook",
+    "stats_sink",
+    "journal",
+)
+
+
+def is_hot_function(func: FunctionNode, hot_lines: Set[int]) -> bool:
+    """Does a ``# repro: hot-path`` marker annotate this definition?"""
+    if not hot_lines:
+        return False
+    candidates = {func.lineno, func.lineno - 1}
+    if func.decorator_list:
+        candidates.add(min(d.lineno for d in func.decorator_list) - 1)
+    return bool(candidates & hot_lines)
+
+
+def _guard_subject(test: ast.expr) -> Optional[str]:
+    """Dotted subject of an ``X is not None`` observation-guard test."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        parts: List[str] = []
+        node = test.left
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+        return ".".join(reversed(parts)).lower()
+    return None
+
+
+def _is_observation_guard(test: ast.expr) -> bool:
+    subject = _guard_subject(test)
+    return subject is not None and any(token in subject for token in _GUARD_TOKENS)
+
+
+def _hot_statements(func: FunctionNode) -> Iterator[ast.stmt]:
+    """The function's own statements, minus cold/exempt subtrees.
+
+    Skips nested function bodies (they are reported as their own hot
+    functions), ``raise`` statements, and observation-guarded blocks.
+    """
+
+    def walk(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                yield stmt  # the def itself is visible (REP121 closures)
+                continue
+            if isinstance(stmt, (ast.Raise, ast.Assert)):
+                continue
+            if isinstance(stmt, ast.If) and _is_observation_guard(stmt.test):
+                yield from walk(stmt.orelse)
+                continue
+            yield stmt
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if nested:
+                    yield from walk(nested)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+
+    return walk(func.body)
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """AST nodes of one statement, without nested statement bodies."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, (ast.expr, ast.withitem)):
+            for node in ast.walk(child):
+                yield node
+
+
+def _check_allocations(stmt: ast.stmt) -> Iterator[Finding]:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield (
+            "REP121",
+            stmt,
+            f"closure {stmt.name!r} defined inside a hot-path function — "
+            "a function object is allocated per call; define it at module "
+            "or class scope",
+        )
+        return
+    for node in _own_exprs(stmt):
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            what = type(node).__name__.lower()
+            yield (
+                "REP121",
+                node,
+                f"{what} display allocates per call on a hot path — hoist "
+                "or reuse a preallocated container",
+            )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            yield (
+                "REP121",
+                node,
+                "comprehension allocates per call on a hot path — hoist "
+                "the construction out of the dispatch loop",
+            )
+        elif isinstance(node, ast.Lambda):
+            yield (
+                "REP121",
+                node,
+                "lambda allocates a function object per call on a hot "
+                "path — use a module-level function or a bound method",
+            )
+
+
+def _check_strings(stmt: ast.stmt) -> Iterator[Finding]:
+    for node in _own_exprs(stmt):
+        if isinstance(node, ast.JoinedStr) and any(
+            isinstance(part, ast.FormattedValue) for part in node.values
+        ):
+            yield (
+                "REP122",
+                node,
+                "f-string formats per call on a hot path — precompute the "
+                "name/label once (the resources do this in __init__)",
+            )
+        elif (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+        ):
+            yield (
+                "REP122",
+                node,
+                "%-formatting builds a string per call on a hot path — "
+                "precompute it outside the dispatch loop",
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"
+            and isinstance(node.func.value, ast.Constant)
+            and isinstance(node.func.value.value, str)
+        ):
+            yield (
+                "REP122",
+                node,
+                "str.format() builds a string per call on a hot path — "
+                "precompute it outside the dispatch loop",
+            )
+
+
+def _pure_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``('self', 'kernel', 'counters')`` for a Load-only attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        if not isinstance(node.ctx, ast.Load):
+            return None
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _loop_assigned_names(loop: ast.stmt) -> List[str]:
+    names: Set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return sorted(names)
+
+
+def _check_attribute_chains(func: FunctionNode) -> Iterator[Finding]:
+    # Outermost loops only: a chain in a nested loop is counted (and
+    # hoisted) relative to the outermost loop that repeats it.
+    loops: List[ast.stmt] = []
+
+    def find_loops(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                loops.append(stmt)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If) and _is_observation_guard(stmt.test):
+                find_loops(stmt.orelse)
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if nested:
+                    find_loops(nested)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    find_loops(handler.body)
+
+    find_loops(func.body)
+
+    for loop in loops:
+        rebound = _loop_assigned_names(loop)
+        counts: dict = {}
+        first: dict = {}
+
+        def collect(node: ast.AST) -> None:
+            if isinstance(node, ast.Raise):
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                return
+            if isinstance(node, ast.If) and _is_observation_guard(node.test):
+                for stmt in node.orelse:
+                    collect(stmt)
+                return
+            if isinstance(node, ast.Attribute):
+                chain = _pure_chain(node)
+                if chain is not None:
+                    if len(chain) >= 3 and chain[0] not in rebound:
+                        # Count every prefix of depth >= 2 so two
+                        # different tails still surface their shared
+                        # ``self.kernel.counters`` prefix.
+                        for depth in range(3, len(chain) + 1):
+                            prefix = chain[:depth]
+                            counts[prefix] = counts.get(prefix, 0) + 1
+                            first.setdefault(prefix, node)
+                    return  # the chain's inner attributes are spoken for
+            for child in ast.iter_child_nodes(node):
+                collect(child)
+
+        collect(loop)
+        for prefix in sorted(counts, key=len, reverse=True):
+            count = counts[prefix]
+            if count < 2:
+                continue
+            longer = any(
+                other[: len(prefix)] == prefix and len(other) > len(prefix) and counts[other] >= count
+                for other in counts
+            )
+            if longer:
+                continue
+            dotted = ".".join(prefix)
+            yield (
+                "REP123",
+                first[prefix],
+                f"attribute chain {dotted!r} is resolved {count}× inside "
+                "this hot loop — bind it to a local before the loop",
+            )
+            break  # one finding per loop keeps the signal readable
+
+
+def analyze_hot_function(func: FunctionNode) -> List[Finding]:
+    """All REP12x findings for one hot-marked function."""
+    findings: List[Finding] = []
+    for stmt in _hot_statements(func):
+        findings.extend(_check_allocations(stmt))
+        findings.extend(_check_strings(stmt))
+    findings.extend(_check_attribute_chains(func))
+    return findings

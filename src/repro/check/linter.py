@@ -19,7 +19,7 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 #: Pragma comments carry ``allow[REP001] reason=...`` after the marker
 #: prefix; the reason is free text to the end of the comment and is
@@ -28,6 +28,11 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 _PRAGMA_RE = re.compile(
     r"#\s*repro:\s*allow\[(?P<rule>REP\d{3})\]\s*(?:reason=(?P<reason>.*))?$"
 )
+
+#: Marks the dispatch loops whose cost is pinned by the recorded BENCH
+#: trajectory; the REP12x hot-path rules fire only inside marked
+#: functions (see :mod:`repro.check.hotpath`).
+_HOT_PATH_RE = re.compile(r"#\s*repro:\s*hot-path\s*$")
 
 
 @dataclass(frozen=True)
@@ -69,11 +74,17 @@ def _iter_comments(source: str) -> Iterable[Tuple[int, int, str]]:
         return
 
 
-def _find_pragmas(path: str, source: str) -> Tuple[List[Pragma], List[Diagnostic]]:
+def _find_pragmas(
+    path: str, source: str
+) -> Tuple[List[Pragma], List[Diagnostic], Set[int]]:
     pragmas: List[Pragma] = []
     problems: List[Diagnostic] = []
+    hot_lines: Set[int] = set()
     for lineno, col, text in _iter_comments(source):
         if "repro:" not in text:
+            continue
+        if _HOT_PATH_RE.search(text.rstrip()):
+            hot_lines.add(lineno)
             continue
         match = _PRAGMA_RE.search(text.rstrip())
         if match is None:
@@ -104,11 +115,16 @@ def _find_pragmas(path: str, source: str) -> Tuple[List[Pragma], List[Diagnostic
             )
             continue
         pragmas.append(Pragma(lineno, match.group("rule"), reason))
-    return pragmas, problems
+    return pragmas, problems, hot_lines
 
 
-def lint_source(path: str, source: str) -> List[Diagnostic]:
-    """Lint one file's source; returns diagnostics sorted by location."""
+def lint_source(path: str, source: str, project: object = None) -> List[Diagnostic]:
+    """Lint one file's source; returns diagnostics sorted by location.
+
+    ``project`` carries whole-tree call summaries when linting a file
+    set (see :func:`lint_paths`); without one, summaries are built from
+    this file alone, so single-file lints still resolve local calls.
+    """
     from repro.check.rules import RULES, LintContext
 
     try:
@@ -125,12 +141,11 @@ def lint_source(path: str, source: str) -> List[Diagnostic]:
             )
         ]
 
-    ctx = LintContext.build(path, tree)
+    pragmas, problems, hot_lines = _find_pragmas(path, source)
+    ctx = LintContext.build(path, tree, project=project, hot_lines=hot_lines)
     raw: List[Diagnostic] = []
     for registered in RULES.values():
         raw.extend(registered.check(ctx))
-
-    pragmas, problems = _find_pragmas(path, source)
     used: Dict[int, bool] = {index: False for index in range(len(pragmas))}
     kept: List[Diagnostic] = []
     for diagnostic in raw:
@@ -176,8 +191,26 @@ def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
 
 
 def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
-    """Lint every ``*.py`` file under ``paths``."""
-    diagnostics: List[Diagnostic] = []
+    """Lint every ``*.py`` file under ``paths``.
+
+    Two-phase: first parse the whole file set and build one-level call
+    summaries for every function, then lint each file against that
+    project context — this is what makes the REP10x/REP11x analyses and
+    the REP003 taint pass see across function boundaries.
+    """
+    from repro.check.summaries import build_project
+
+    sources: List[Tuple[str, str]] = []
+    parsed: List[Tuple[str, ast.AST]] = []
     for path in iter_python_files(paths):
-        diagnostics.extend(lint_source(str(path), path.read_text()))
+        text = path.read_text()
+        sources.append((str(path), text))
+        try:
+            parsed.append((str(path), ast.parse(text, filename=str(path))))
+        except SyntaxError:
+            pass  # lint_source reports it; no summaries from broken files
+    project = build_project(parsed)
+    diagnostics: List[Diagnostic] = []
+    for path, text in sources:
+        diagnostics.extend(lint_source(path, text, project=project))
     return diagnostics

@@ -1,4 +1,4 @@
-"""The determinism rule catalogue (REP001–REP006).
+"""The determinism rule catalogue (REP001–REP006 plus the dataflow suite).
 
 Each rule is a function from a :class:`LintContext` (one parsed file) to an
 iterator of :class:`repro.check.linter.Diagnostic`.  Rules are registered
@@ -7,7 +7,13 @@ registered rule over every file and applies pragma suppression afterwards,
 so rules never need to know about pragmas.
 
 These are *DES-specific* checks, not style checks: each one encodes an
-invariant the simulation's reproducibility depends on.
+invariant the simulation's reproducibility (or its recorded performance
+trajectory) depends on.
+
+REP001–REP006 are syntactic, per-function checks; REP101 onward run on
+the CFG + forward-dataflow framework (:mod:`repro.check.cfg`,
+:mod:`repro.check.dataflow`) with one-level interprocedural call
+summaries (:mod:`repro.check.summaries`).
 
 ========  ============================================================
 REP001    no wall-clock reads (``time.time`` / ``time.monotonic`` /
@@ -17,15 +23,31 @@ REP002    no global ``random`` module, no global ``numpy.random``
           state, no unseeded ``default_rng()`` — randomness must come
           from ``RngStreams.stream(name)``
 REP003    no iteration over ``set``/``frozenset`` values (taint from
-          ``set(``/``frozenset(`` constructors, set literals and set
-          comprehensions within a function) where the order can feed
-          ``schedule()``, statistics, or returned collections —
+          ``set(``/``frozenset(`` constructors, set literals, set
+          comprehensions, and calls to functions whose summary says
+          they return set-derived collections) where the order can
+          feed ``schedule()``, statistics, or returned collections —
           ``sorted(...)`` sanitises
 REP004    no float ``==``/``!=`` against ``sim.now`` or event-time
           values — exact float comparison of computed times is fragile
 REP005    no ``id()``-based ordering or hashing of simulation objects —
           CPython addresses vary across runs
 REP006    no ``schedule()`` call with a provably negative literal delay
+REP101    no ``+``/``-`` (or suffix-contradicting assignment) between
+          different units (cycles / ns / us / instructions / …)
+REP102    no ordered comparison between different units
+REP103    no untranslated unit flowing into a nanosecond delay sink
+          (``schedule`` / ``stall`` / ``kernel_phase`` / ``Delay`` /
+          ``timer``) or into the wrong converter argument
+REP111    every acquired free-list frame reaches a release/install on
+          all CFG paths (exception and fault-degrade edges included)
+REP112    every acquired PMSHR entry reaches ``release``/ownership
+          transfer on all CFG paths
+REP121    no per-call container/closure allocation inside a
+          ``# repro: hot-path`` function
+REP122    no per-call string formatting inside a hot-path function
+REP123    no repeated deep attribute chains inside a hot-path loop —
+          hoist a bound local, as the engine's dispatch loop does
 ========  ============================================================
 """
 
@@ -81,10 +103,26 @@ class LintContext:
     #: Local alias → fully qualified module/name (``np`` → ``numpy``,
     #: ``monotonic`` → ``time.monotonic``).
     imports: Dict[str, str] = field(default_factory=dict)
+    #: Whole-project one-level call summaries (never None after build()).
+    project: Optional[object] = None
+    #: Lines carrying a hot-path marker comment in this file.
+    hot_lines: Set[int] = field(default_factory=set)
 
     @classmethod
-    def build(cls, path: str, tree: ast.AST) -> "LintContext":
+    def build(
+        cls,
+        path: str,
+        tree: ast.AST,
+        project: Optional[object] = None,
+        hot_lines: Optional[Set[int]] = None,
+    ) -> "LintContext":
         ctx = cls(path=path, tree=tree)
+        if project is None:
+            from repro.check.summaries import build_project
+
+            project = build_project([(path, tree)])
+        ctx.project = project
+        ctx.hot_lines = set(hot_lines or ())
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -118,6 +156,12 @@ class LintContext:
             return None
         parts.append(base)
         return ".".join(reversed(parts))
+
+    def resolve_summary(self, call: ast.Call) -> Optional[object]:
+        """One-level call summary for a call site, if resolvable."""
+        if self.project is None:
+            return None
+        return self.project.resolve_call(call, self.path)
 
 
 def _diag(ctx: LintContext, rule_id: str, node: ast.AST, message: str) -> Diagnostic:
@@ -271,10 +315,17 @@ def _contains_order_sink(body: List[ast.stmt]) -> Optional[ast.AST]:
 
 
 class _SetTaint:
-    """Function-local taint tracking for unordered-set provenance."""
+    """Taint tracking for unordered-set provenance.
 
-    def __init__(self) -> None:
+    Function-local by default; given a :class:`LintContext`, calls whose
+    one-level summary says the callee returns a set-derived collection
+    (``returns_set``) taint their result too, so provenance no longer
+    escapes silently across function boundaries.
+    """
+
+    def __init__(self, ctx: Optional["LintContext"] = None) -> None:
         self.tainted: Set[str] = set()
+        self.ctx = ctx
 
     def expr_is_tainted(self, node: ast.expr) -> bool:
         if isinstance(node, ast.Name):
@@ -294,6 +345,10 @@ class _SetTaint:
                 "copy",
             }:
                 return self.expr_is_tainted(node.func.value)
+            if self.ctx is not None:
+                summary = self.ctx.resolve_summary(node)
+                if summary is not None and getattr(summary, "returns_set", False):
+                    return True
             return False
         if isinstance(node, ast.BinOp) and isinstance(
             node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
@@ -328,7 +383,7 @@ def _tainted_payload(taint: _SetTaint, node: ast.expr) -> bool:
 def _check_function_sets(
     ctx: LintContext, fn: ast.AST, body: List[ast.stmt]
 ) -> Iterator[Diagnostic]:
-    taint = _SetTaint()
+    taint = _SetTaint(ctx)
 
     def visit(stmts: List[ast.stmt]) -> Iterator[Diagnostic]:
         for stmt in stmts:
@@ -523,3 +578,128 @@ def check_negative_delay(ctx: LintContext) -> Iterator[Diagnostic]:
                 "schedule() with a negative literal delay fires in the "
                 "simulation's past (the engine rejects it at runtime)",
             )
+
+
+# ----------------------------------------------------------------------
+# The dataflow suite: REP10x units, REP11x conservation, REP12x hot path
+# ----------------------------------------------------------------------
+def _iter_functions(
+    ctx: LintContext,
+) -> Iterator[Tuple[ast.AST, bool]]:
+    """Every function definition in the file, with inherited hotness."""
+    from repro.check.hotpath import is_hot_function
+
+    def walk(body: List[ast.stmt], hot_parent: bool) -> Iterator[Tuple[ast.AST, bool]]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                hot = hot_parent or is_hot_function(stmt, ctx.hot_lines)
+                yield stmt, hot
+                yield from walk(stmt.body, hot)
+            else:
+                for attr in ("body", "orelse", "finalbody"):
+                    nested = getattr(stmt, attr, None)
+                    if nested:
+                        yield from walk(nested, hot_parent)
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        yield from walk(handler.body, hot_parent)
+
+    yield from walk(list(ctx.tree.body), False)
+
+
+def _dataflow_findings(ctx: LintContext) -> List[Tuple[str, ast.AST, str]]:
+    """All CFG-based findings for one file, computed once and cached."""
+    cached = getattr(ctx, "_dataflow_findings", None)
+    if cached is not None:
+        return cached
+    from repro.check.conservation import analyze_conservation
+    from repro.check.hotpath import analyze_hot_function
+    from repro.check.units import analyze_units
+
+    findings: List[Tuple[str, ast.AST, str]] = []
+    for func, hot in _iter_functions(ctx):
+        findings.extend(analyze_units(func, ctx.resolve_summary))
+        result = analyze_conservation(func, ctx.resolve_summary)
+        findings.extend(result.leaks)
+        if hot:
+            findings.extend(analyze_hot_function(func))
+    ctx._dataflow_findings = findings
+    return findings
+
+
+def _yield_rule(ctx: LintContext, rule_id: str) -> Iterator[Diagnostic]:
+    for found_rule, node, message in _dataflow_findings(ctx):
+        if found_rule == rule_id:
+            yield _diag(ctx, rule_id, node, message)
+
+
+@rule(
+    "REP101",
+    "mixed-unit-arithmetic",
+    "+/- (or a suffix-contradicting assignment) between different units",
+)
+def check_unit_arithmetic(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP101")
+
+
+@rule(
+    "REP102",
+    "mixed-unit-comparison",
+    "ordered comparison between values of different units",
+)
+def check_unit_comparison(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP102")
+
+
+@rule(
+    "REP103",
+    "unit-sink-mismatch",
+    "non-nanosecond value flowing into a ns delay sink or wrong converter",
+)
+def check_unit_sinks(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP103")
+
+
+@rule(
+    "REP111",
+    "frame-leak",
+    "free-list frame acquired but not released/installed on every CFG path",
+)
+def check_frame_conservation(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP111")
+
+
+@rule(
+    "REP112",
+    "pmshr-leak",
+    "PMSHR entry acquired but not released/transferred on every CFG path",
+)
+def check_pmshr_conservation(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP112")
+
+
+@rule(
+    "REP121",
+    "hot-path-allocation",
+    "per-call container/closure allocation inside a # repro: hot-path function",
+)
+def check_hot_allocations(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP121")
+
+
+@rule(
+    "REP122",
+    "hot-path-string",
+    "per-call string formatting inside a # repro: hot-path function",
+)
+def check_hot_strings(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP122")
+
+
+@rule(
+    "REP123",
+    "hot-path-attribute-chain",
+    "repeated deep attribute chain inside a hot-path loop; hoist a local",
+)
+def check_hot_attribute_chains(ctx: LintContext) -> Iterator[Diagnostic]:
+    yield from _yield_rule(ctx, "REP123")

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 export for ``python -m repro.check lint --format sarif``.
+
+Emits the minimal subset CI annotators consume: one run, the rule
+catalogue under ``tool.driver.rules``, and one ``result`` per
+diagnostic with a physical location.  Pragma/baseline problems
+(``REP000``) are reported at ``warning`` level, real rule findings at
+``error``.  See docs/static-analysis.md for the schema subset and an
+example document.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.check.linter import Diagnostic
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _uri(path: str) -> str:
+    try:
+        return Path(os.path.relpath(path)).as_posix()
+    except ValueError:  # pragma: no cover - different drive on Windows
+        return Path(path).as_posix()
+
+
+def to_sarif(diagnostics: List[Diagnostic]) -> Dict:
+    """Render diagnostics as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    from repro.check.rules import RULES, UNUSED_PRAGMA
+
+    rules = [
+        {
+            "id": UNUSED_PRAGMA,
+            "name": "pragma-problem",
+            "shortDescription": {
+                "text": "malformed, reasonless, or unused repro pragma"
+            },
+        }
+    ]
+    rules.extend(
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in RULES.values()
+    )
+    results = [
+        {
+            "ruleId": diagnostic.rule,
+            "level": "warning" if diagnostic.rule == UNUSED_PRAGMA else "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(diagnostic.path)},
+                        "region": {
+                            "startLine": diagnostic.line,
+                            "startColumn": diagnostic.col,
+                            "endLine": diagnostic.end_line,
+                        },
+                    }
+                }
+            ],
+        }
+        for diagnostic in diagnostics
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

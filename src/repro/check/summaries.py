@@ -1,0 +1,199 @@
+"""One-level interprocedural call summaries for the check analyses.
+
+Every function definition in the linted file set gets a
+:class:`FunctionSummary` computed *intra*-procedurally (no fixpoint over
+the call graph — one level of context is enough for the helper-function
+shapes this codebase uses):
+
+* ``returns_unit`` / ``param_units`` — from :mod:`repro.check.units`
+  inference over the body / parameter naming conventions, feeding the
+  caller-side REP101/REP103 checks;
+* ``returns_handle`` / ``releases_params`` — from
+  :mod:`repro.check.conservation` with parameters modelled as
+  pseudo-handles, so ``kernel.alloc_frame`` is recognised as an
+  acquisition and ``Prefetcher._return_frame(queue, pfn)`` as a release
+  at their call sites;
+* ``returns_set`` — does any return value carry unordered-set
+  provenance?  Feeds the cross-function extension of REP003.
+
+Call sites resolve a summary in three steps, most precise first:
+
+1. a bare name → a module-level function of the same file;
+2. ``self.method(...)`` → a method of the same file, if the method name
+   is unambiguous within the file;
+3. any other ``obj.method(...)`` → the unique function of that name
+   across the whole linted project (ambiguous names resolve to nothing —
+   the analyses degrade to intra-procedural rather than guess).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.check.conservation import analyze_conservation
+from repro.check.units import NEUTRAL, UnitInference, name_unit
+
+FunctionNode = ast.AST  # FunctionDef | AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What one level of callers may assume about a function."""
+
+    name: str
+    path: str
+    is_method: bool
+    #: Positional parameter names, ``self`` excluded.
+    params: Tuple[str, ...]
+    param_units: Dict[str, str]
+    returns_unit: Optional[str]
+    returns_handle: Optional[str]
+    releases_params: FrozenSet[str]
+    returns_set: bool
+
+
+def _positional_params(func: ast.AST) -> Tuple[Tuple[str, ...], bool]:
+    arguments = func.args
+    names = [arg.arg for arg in (*arguments.posonlyargs, *arguments.args)]
+    is_method = bool(names) and names[0] in ("self", "cls")
+    if is_method:
+        names = names[1:]
+    return tuple(names), is_method
+
+
+def _returns_unit(func: ast.AST) -> Optional[str]:
+    """Common known unit of every return value, if there is one."""
+    inference = UnitInference()
+    env: Dict[str, str] = {}
+    for arg in (*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs):
+        unit = name_unit(arg.arg)
+        if unit is not None:
+            env[arg.arg] = unit
+    units: List[Optional[str]] = []
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Return) and node.value is not None:
+            units.append(inference.unit_of(node.value, env))
+        stack.extend(ast.iter_child_nodes(node))
+    known = {unit for unit in units if unit is not None and unit != NEUTRAL}
+    if len(known) == 1 and all(unit is not None for unit in units) and units:
+        return known.pop()
+    return None
+
+
+def _returns_set(func: ast.AST) -> bool:
+    """Does any return statement carry unordered-set provenance?"""
+    from repro.check.rules import _SetTaint  # late: rules imports us too
+
+    taint = _SetTaint()
+    tainted_return = False
+
+    def visit(stmts: List[ast.stmt]) -> None:
+        nonlocal tainted_return
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    taint.assign(target, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                taint.assign(stmt.target, stmt.value)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                if taint.expr_is_tainted(stmt.value):
+                    tainted_return = True
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if nested:
+                    visit(nested)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    visit(handler.body)
+
+    visit(func.body)
+    return tainted_return
+
+
+def summarize_function(func: ast.AST, path: str) -> FunctionSummary:
+    params, is_method = _positional_params(func)
+    conservation = analyze_conservation(func, params_as_handles=True)
+    return FunctionSummary(
+        name=func.name,
+        path=path,
+        is_method=is_method,
+        params=params,
+        param_units={
+            name: unit
+            for name in params
+            for unit in (name_unit(name),)
+            if unit is not None
+        },
+        returns_unit=_returns_unit(func),
+        returns_handle=conservation.returns_handle,
+        releases_params=conservation.released_params & frozenset(params),
+        returns_set=_returns_set(func),
+    )
+
+
+@dataclass
+class ProjectSummary:
+    """Summaries for every function in the linted file set."""
+
+    #: path → bare function name → summary (module-level defs only).
+    module_functions: Dict[str, Dict[str, FunctionSummary]] = field(default_factory=dict)
+    #: path → method name → summary, names ambiguous within a file removed.
+    file_methods: Dict[str, Dict[str, FunctionSummary]] = field(default_factory=dict)
+    #: name → summary when the name is defined exactly once project-wide.
+    unique: Dict[str, FunctionSummary] = field(default_factory=dict)
+
+    def add_file(self, path: str, tree: ast.AST) -> None:
+        functions = self.module_functions.setdefault(path, {})
+        methods = self.file_methods.setdefault(path, {})
+        ambiguous: set = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            summary = summarize_function(node, path)
+            if summary.is_method:
+                if node.name in methods:
+                    ambiguous.add(node.name)
+                methods[node.name] = summary
+            else:
+                functions.setdefault(node.name, summary)
+            self._note_global(node.name, summary)
+        for name in ambiguous:
+            methods.pop(name, None)
+
+    _seen_names: Dict[str, int] = field(default_factory=dict)
+
+    def _note_global(self, name: str, summary: FunctionSummary) -> None:
+        count = self._seen_names.get(name, 0) + 1
+        self._seen_names[name] = count
+        if count == 1:
+            self.unique[name] = summary
+        else:
+            self.unique.pop(name, None)
+
+    def resolve_call(self, call: ast.Call, path: str) -> Optional[FunctionSummary]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.module_functions.get(path, {}).get(func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                local = self.file_methods.get(path, {}).get(func.attr)
+                if local is not None:
+                    return local
+            return self.unique.get(func.attr)
+        return None
+
+
+def build_project(files: List[Tuple[str, ast.AST]]) -> ProjectSummary:
+    """Summaries for a set of ``(path, parsed tree)`` pairs."""
+    project = ProjectSummary()
+    for path, tree in files:
+        project.add_file(path, tree)
+    return project

@@ -68,6 +68,11 @@ class Smu:
             smu_config.request_reg_write_cycles + smu_config.cam_lookup_cycles
         )
         self._notify_ns = self._cycles_ns(smu_config.notify_cycles)
+        # Completion labels are debugging aids only; minting them here
+        # keeps the per-miss I/O registration free of string formatting.
+        self._io_names = tuple(
+            f"smu-io-{index}" for index in range(smu_config.pmshr_entries)
+        )
         self._completion_update_ns = (
             self._cycles_ns(
                 smu_config.completion_unit_cycles + smu_config.entry_update_cycles
@@ -146,10 +151,12 @@ class Smu:
             sink.end_span(span, span.outcome or obs.COMPLETED, pfn=pfn)
         return pfn
 
+    # repro: hot-path
     def _handle_miss(
         self, walk: WalkResult, decoded: Any, thread: Any, span: Any
     ) -> Generator[Any, Any, Optional[int]]:
         smu_config = self.config.smu
+        counters = self.kernel.counters
         if decoded.socket_id != self.socket_id:
             raise SmuError(
                 f"miss routed to SMU {self.socket_id} but PTE names socket "
@@ -210,7 +217,7 @@ class Smu:
                 # Invalidate the entry and fail the miss back to the MMU;
                 # the OS fault handler takes over and refills (§IV-D).
                 self.misses_failed += 1
-                self.kernel.counters.add("smu.queue_empty_failures")
+                counters.add("smu.queue_empty_failures")
                 self.pmshr.release(entry, None)
                 if span is not None:
                     span.attrs["reason"] = "queue_empty"
@@ -239,7 +246,7 @@ class Smu:
                 self.after_device_stat.add(self.sim.now - after_start)
                 self.anon_zero_fills += 1
                 self.misses_handled += 1
-                self.kernel.counters.add("smu.anon_zero_fills")
+                counters.add("smu.anon_zero_fills")
                 self.pmshr.release(entry, pop.pfn)
                 return pop.pfn
 
@@ -281,9 +288,9 @@ class Smu:
                 if command is None or command.ok:
                     break
                 self.io_errors += 1
-                self.kernel.counters.add("smu.io_errors")
+                counters.add("smu.io_errors")
                 if attempt < resilience.smu_io_retries:
-                    self.kernel.counters.add("smu.io_retries")
+                    counters.add("smu.io_retries")
                     if span is not None:
                         segment_start = self.sim.now
                     yield from thread.stall(
@@ -298,7 +305,7 @@ class Smu:
                 # entry (waking coalesced walks with None), fail the miss.
                 self.misses_failed += 1
                 self.io_error_failures += 1
-                self.kernel.counters.add("smu.io_error_failures")
+                counters.add("smu.io_error_failures")
                 self.kernel.frame_pool.free(pop.pfn)
                 self.pmshr.release(entry, None)
                 if span is not None:
@@ -372,8 +379,9 @@ class Smu:
         yield from thread.kernel_phase(costs.context_switch_in_ns, "timeout_switch_in")
 
     # ------------------------------------------------------------------
+    # repro: hot-path
     def _register_io(self, entry) -> Completion:
-        done = Completion(self.sim, f"smu-io-{entry.index}")
+        done = Completion(self.sim, self._io_names[entry.index])
         sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             sanitizer.note(f"smu[{self.socket_id}].inflight_tags", "write")

@@ -88,6 +88,7 @@ class PageFaultHandler:
         sink.end_span(span, span.outcome or obs.COMPLETED, pfn=pfn)
         return pfn
 
+    # repro: hot-path
     def _dispatch(
         self, thread: Any, vaddr: int, walk: WalkResult, is_write: bool
     ) -> Generator[Any, Any, int]:
@@ -135,6 +136,7 @@ class PageFaultHandler:
     # ------------------------------------------------------------------
     # page-lock style coalescing wrapper for the OS-handled paths
     # ------------------------------------------------------------------
+    # repro: hot-path
     def _coalesced_os_fault(
         self, thread: Any, vaddr: int, vma: Any, refill_queue: bool
     ) -> Generator[Any, Any, int]:
@@ -163,7 +165,10 @@ class PageFaultHandler:
             yield from thread.kernel_phase(self.costs.pte_update_return_ns, "return")
             return pfn
 
-        completion = Completion(self.sim, f"fault-{key[0]}-{key[1]:#x}")
+        # A constant label: the (pid, vpn) identity lives in the
+        # ``_inflight`` key, and formatting it per fault would put a
+        # string build on every uncontended page-lock acquisition.
+        completion = Completion(self.sim, "fault-page-lock")
         self._inflight[key] = completion
         pfn = None
         try:
@@ -204,6 +209,7 @@ class PageFaultHandler:
     # ------------------------------------------------------------------
     # conventional OS-handled major fault (OSDP; also the HWDP fallback)
     # ------------------------------------------------------------------
+    # repro: hot-path
     def _major_fault(
         self,
         thread: Any,
@@ -214,7 +220,8 @@ class PageFaultHandler:
     ) -> Generator[Any, Any, int]:
         kernel = self.kernel
         costs = self.costs
-        kernel.counters.add("fault.major")
+        counters = kernel.counters
+        counters.add("fault.major")
         yield from thread.kernel_phase(costs.handler_entry_ns, "handler_entry")
 
         file = vma.file
@@ -223,7 +230,7 @@ class PageFaultHandler:
             cached = kernel.page_cache.lookup(file, file_page)
             if cached is not None:
                 # Minor fault on a cached file page: map it, no device I/O.
-                kernel.counters.add("fault.minor_cached")
+                counters.add("fault.minor_cached")
                 yield from thread.kernel_phase(costs.pte_update_return_ns, "return")
                 kernel.map_cached_page(thread.process, vma, vaddr, cached)
                 return cached
@@ -238,7 +245,7 @@ class PageFaultHandler:
                 )
             nsid = kernel.swap_file.nsid
             lba = swap_lba
-            kernel.counters.add("fault.anon_swapin")
+            counters.add("fault.anon_swapin")
 
         pfn = yield from kernel.alloc_frame(thread)
         resilience = kernel.config.resilience
@@ -253,7 +260,7 @@ class PageFaultHandler:
                 costs.context_switch_out_ns, "context_switch_out"
             )
             if refill_queue and attempt == 0:
-                kernel.counters.add("fault.sync_refill")
+                counters.add("fault.sync_refill")
                 yield from kernel.refill_free_page_queue(
                     thread, reason="sync", core_id=thread.core.core_id
                 )
@@ -270,16 +277,16 @@ class PageFaultHandler:
             yield from thread.kernel_phase(costs.io_completion_ns, "io_completion")
             if command is None or command.ok:
                 break
-            kernel.counters.add("fault.io_errors")
+            counters.add("fault.io_errors")
             if attempt < resilience.os_io_retries:
-                kernel.counters.add("fault.io_retries")
+                counters.add("fault.io_retries")
                 yield from thread.kernel_phase(
                     resilience.os_retry_backoff_ns * (attempt + 1), "io_retry_backoff"
                 )
         if command is not None and not command.ok:
             # Retry budget exhausted: free the frame and deliver the error
             # to the faulting thread (SIGBUS / -EIO).
-            kernel.counters.add("fault.io_errors_delivered")
+            counters.add("fault.io_errors_delivered")
             kernel.frame_pool.free(pfn)
             raise IoError(
                 f"{thread.name}: read of LBA {lba} on nsid {nsid} failed after "
@@ -294,6 +301,7 @@ class PageFaultHandler:
     # ------------------------------------------------------------------
     # anonymous minor fault
     # ------------------------------------------------------------------
+    # repro: hot-path
     def _minor_fault(self, thread: Any, vaddr: int, vma: Any) -> Generator[Any, Any, int]:
         kernel = self.kernel
         kernel.counters.add("fault.minor_anon")
@@ -307,6 +315,7 @@ class PageFaultHandler:
     # ------------------------------------------------------------------
     # software-emulated SMU (SWDP, §VI-A)
     # ------------------------------------------------------------------
+    # repro: hot-path
     def _swdp_fault(
         self, thread: Any, vaddr: int, vma: Any, decoded: Any
     ) -> Generator[Any, Any, int]:

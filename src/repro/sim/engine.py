@@ -202,6 +202,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    # repro: hot-path
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now.
 
@@ -219,7 +220,7 @@ class Simulator:
         if time <= self._horizon:
             bucket = self._buckets.get(time)
             if bucket is None:
-                self._buckets[time] = [event]
+                self._buckets[time] = [event]  # repro: allow[REP121] reason=one bucket per distinct timestamp, amortised across every event appended at that instant
                 heappush(self._times, time)
             else:
                 bucket.append(event)
@@ -228,6 +229,7 @@ class Simulator:
             heappush(self._overflow, (time, self._overflow_seq, event))
         return event
 
+    # repro: hot-path
     def schedule_transient(
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> ScheduledEvent:
@@ -256,7 +258,7 @@ class Simulator:
         if time <= self._horizon:
             bucket = self._buckets.get(time)
             if bucket is None:
-                self._buckets[time] = [event]
+                self._buckets[time] = [event]  # repro: allow[REP121] reason=one bucket per distinct timestamp, amortised across every event appended at that instant
                 heappush(self._times, time)
             else:
                 bucket.append(event)
@@ -298,6 +300,7 @@ class Simulator:
             else:
                 bucket.append(event)
 
+    # repro: hot-path
     def step(self) -> bool:
         """Dispatch the next pending event.  Returns False if queue is empty."""
         pool = self._event_pool
@@ -371,6 +374,7 @@ class Simulator:
         finally:
             self._running = False
 
+    # repro: hot-path
     def _run_unbounded(self) -> None:
         """The hot loop: drain the calendar with everything inlined.
 

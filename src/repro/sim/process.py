@@ -69,12 +69,13 @@ class Signal:
         self._waiters: List["Process"] = []
         self.fire_count = 0
 
+    # repro: hot-path
     def fire(self, value: Any = None) -> None:
         """Wake all current waiters, delivering ``value``."""
         self.fire_count += 1
         waiters = self._waiters
         if waiters:
-            self._waiters = []
+            self._waiters = []  # repro: allow[REP121] reason=fresh list per broadcast is the edge-trigger semantics; the drained list is handed to the resume loop
             schedule = self.sim.schedule_transient
             for process in waiters:
                 # Resume via a zero-delay event to preserve run-to-completion
@@ -112,6 +113,7 @@ class Completion(Signal):
         self.done = False
         self.value: Any = None
 
+    # repro: hot-path
     def fire(self, value: Any = None) -> None:
         if self.done:
             raise SimulationError(f"completion {self.name} fired twice")
@@ -120,7 +122,7 @@ class Completion(Signal):
         self.fire_count += 1
         waiters = self._waiters
         if waiters:
-            self._waiters = []
+            self._waiters = []  # repro: allow[REP121] reason=fresh list per broadcast is the latch semantics; the drained list is handed to the resume loop
             schedule = self.sim.schedule_transient
             for process in waiters:
                 schedule(0.0, process._resume_cb, value)

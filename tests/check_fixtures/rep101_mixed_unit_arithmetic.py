@@ -1,0 +1,27 @@
+"""Seeds REP101: adding/subtracting quantities carried in different units."""
+
+
+def mixed_add(latency_ns: float, budget_cycles: float) -> float:
+    return latency_ns + budget_cycles  # EXPECT REP101
+
+
+def mixed_sub(start_us: float, window_ns: float) -> float:
+    return start_us - window_ns  # EXPECT REP101
+
+
+def mixed_min(deadline_ns: float, deadline_cycles: float) -> float:
+    return min(deadline_ns, deadline_cycles)  # EXPECT REP101
+
+
+def clean_same_unit(first_ns: float, second_ns: float) -> float:
+    return first_ns + second_ns
+
+
+def clean_rescale(window_ns: float, factor: float) -> float:
+    # Multiplication/division is the rescale idiom, never a unit error.
+    return window_ns * factor
+
+
+def clean_neutral_offset(base_ns: float) -> float:
+    # Bare numeric literals are unit-neutral.
+    return base_ns + 5.0

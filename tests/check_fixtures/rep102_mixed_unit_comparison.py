@@ -1,0 +1,23 @@
+"""Seeds REP102: ordering comparisons between different units."""
+
+
+def deadline_check(deadline_ns: float, elapsed_cycles: float) -> bool:
+    return deadline_ns < elapsed_cycles  # EXPECT REP102
+
+
+def window_check(budget_us: float, spent_ns: float) -> bool:
+    return budget_us >= spent_ns  # EXPECT REP102
+
+
+def clean_same_unit(first_ns: float, second_ns: float) -> bool:
+    return first_ns < second_ns
+
+
+def clean_neutral(threshold_ns: float) -> bool:
+    # Comparing against a bare literal is unit-neutral.
+    return threshold_ns > 0
+
+
+def clean_identity(value_ns: float, sentinel: object) -> bool:
+    # Identity/membership tests are not unit comparisons.
+    return value_ns is sentinel

@@ -1,0 +1,43 @@
+"""Seeds REP111: free-list frames that escape release on some CFG path."""
+
+
+def leaks_on_cancel(kernel, thread) -> bool:
+    pop = kernel.free_queue.pop()  # EXPECT REP111
+    if pop.empty:
+        return False
+    if thread.cancelled:
+        # Early exit without giving the frame back: the leak.
+        return False
+    kernel.install_resident_page(thread.process, None, 0, pop.pfn)
+    return True
+
+
+def leaks_into_log(frame_pool, log) -> bool:
+    pfn = frame_pool.try_alloc()  # EXPECT REP111
+    if pfn < 0:
+        return False
+    log.info(pfn)
+    return True
+
+
+def clean_released_on_cancel(kernel, thread) -> bool:
+    pop = kernel.free_queue.pop()
+    if pop.empty:
+        return False
+    if thread.cancelled:
+        kernel.frame_pool.free(pop.pfn)
+        return False
+    kernel.install_resident_page(thread.process, None, 0, pop.pfn)
+    return True
+
+
+def clean_returns_handle(kernel):
+    # Returning the frame transfers ownership to the caller.
+    pop = kernel.free_queue.pop()
+    if pop.empty:
+        return None
+    return pop.pfn
+
+
+def clean_gave_back(free_queue, pfn: int) -> None:
+    free_queue.give_back(pfn)

@@ -1,0 +1,43 @@
+"""Seeds REP112: PMSHR entries that are never released or invalidated."""
+
+
+def leaks_created_entry(pmshr, walk, device_id: int, lba: int) -> bool:
+    entry, created = pmshr.lookup_or_allocate(  # EXPECT REP112
+        walk.pte_addr, walk.pmd_entry_addr, walk.pud_entry_addr, device_id, lba
+    )
+    if entry is None:
+        return False
+    if not created:
+        # Coalesced: the leading miss owns the entry, nothing to release.
+        return True
+    return True
+
+
+def leaks_allocation(sw_pmshr, pte_addr: int) -> bool:
+    entry = sw_pmshr.allocate(pte_addr, 0, 0, 0, 0)  # EXPECT REP112
+    if entry is None:
+        return False
+    return True
+
+
+def clean_released(pmshr, walk, device_id: int, lba: int) -> bool:
+    entry, created = pmshr.lookup_or_allocate(
+        walk.pte_addr, walk.pmd_entry_addr, walk.pud_entry_addr, device_id, lba
+    )
+    if entry is None:
+        return False
+    if not created:
+        return True
+    pmshr.release(entry, 7)
+    return True
+
+
+def clean_released_on_failure(sw_pmshr, pte_addr: int, ok: bool) -> bool:
+    entry = sw_pmshr.allocate(pte_addr, 0, 0, 0, 0)
+    if entry is None:
+        return False
+    if not ok:
+        sw_pmshr.release(entry, None)
+        return False
+    sw_pmshr.release(entry, 7)
+    return True

@@ -1,0 +1,40 @@
+"""Seeds REP121: per-call allocations inside hot-path-marked functions."""
+
+
+# repro: hot-path
+def dispatch(events, handler) -> None:
+    for event in events:
+        payload = [event.kind, event.time]  # EXPECT REP121
+        handler(payload)
+
+
+# repro: hot-path
+def make_resume(value):
+    def resume():  # EXPECT REP121
+        return value
+
+    return resume
+
+
+# repro: hot-path
+def snapshot(event):
+    return {"kind": event.kind, "time": event.time}  # EXPECT REP121
+
+
+# repro: hot-path
+def clean_guarded(trace_sink, events) -> None:
+    for event in events:
+        if trace_sink is not None:
+            # Allocation behind an observation guard: off in measured runs.
+            trace_sink.note([event.kind, event.time])
+
+
+# repro: hot-path
+def clean_raise(event) -> None:
+    if event.kind is None:
+        raise ValueError([event.kind])
+
+
+def cold_alloc(events):
+    # Unmarked functions may allocate freely.
+    return [event.kind for event in events]

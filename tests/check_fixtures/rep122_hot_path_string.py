@@ -1,0 +1,37 @@
+"""Seeds REP122: per-call string formatting inside hot-path functions."""
+
+
+# repro: hot-path
+def label_fstring(event, sink) -> None:
+    sink.push(f"event-{event.index}")  # EXPECT REP122
+
+
+# repro: hot-path
+def label_percent(event, sink) -> None:
+    sink.push("event-%d" % event.index)  # EXPECT REP122
+
+
+# repro: hot-path
+def label_format(event, sink) -> None:
+    sink.push("event-{}".format(event.index))  # EXPECT REP122
+
+
+# repro: hot-path
+def clean_constant(sink) -> None:
+    sink.push("event-constant")
+
+
+# repro: hot-path
+def clean_guarded(metrics, event) -> None:
+    if metrics is not None:
+        metrics.push(f"event-{event.index}")
+
+
+# repro: hot-path
+def clean_raising(event) -> None:
+    raise ValueError(f"unroutable event {event.index}")
+
+
+def cold_format(event) -> str:
+    # Unmarked functions may format freely.
+    return f"event-{event.index}"

@@ -1,0 +1,37 @@
+"""Seeds REP123: deep attribute chains re-resolved inside hot loops."""
+
+
+# repro: hot-path
+def tally(machine, events) -> None:
+    for event in events:
+        machine.stats.counters.add(event.kind)  # EXPECT REP123
+        machine.stats.counters.add("events.total")
+
+
+# repro: hot-path
+def clean_hoisted(machine, events) -> None:
+    add = machine.stats.counters.add
+    for event in events:
+        add(event.kind)
+        add("events.total")
+
+
+# repro: hot-path
+def clean_rebound_root(machines) -> None:
+    # The chain root is rebound by the loop itself: nothing to hoist.
+    for machine in machines:
+        machine.stats.counters.add("machines.seen")
+        machine.stats.counters.add("machines.total")
+
+
+# repro: hot-path
+def clean_single_use(machine, events) -> None:
+    for event in events:
+        machine.stats.counters.add(event.kind)
+
+
+def cold_chains(machine, events) -> None:
+    # Unmarked functions are not charged for attribute walks.
+    for event in events:
+        machine.stats.counters.add(event.kind)
+        machine.stats.counters.add("events.total")

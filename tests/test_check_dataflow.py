@@ -1,0 +1,499 @@
+"""CFG, dataflow-engine, and summary tests for the static analysis suite.
+
+Covers the framework under ``repro.check`` directly (graph shape, worklist
+convergence, one-level summaries) plus whole-program behaviour that the
+per-rule fixtures cannot express: cross-function taint, summary-driven
+unit and conservation checks, and regressions for the real findings the
+suite caught in the simulator source.
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import build_cfg, build_project, lint_source
+from repro.check.dataflow import ForwardAnalysis, run_forward
+from repro.check.units import CYCLES, NS
+
+
+def _func_cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def _rules(source, path="snippet.py"):
+    return {d.rule for d in lint_source(path, textwrap.dedent(source))}
+
+
+def _findings(source, path="snippet.py"):
+    return [(d.rule, d.line) for d in lint_source(path, textwrap.dedent(source))]
+
+
+# ----------------------------------------------------------------------
+# CFG shape
+# ----------------------------------------------------------------------
+def test_linear_function_covers_every_statement():
+    cfg = _func_cfg(
+        """
+        def f(x):
+            y = x + 1
+            z = y * 2
+            return z
+        """
+    )
+    covered = {id(node.stmt) for node in cfg.nodes if node.stmt is not None}
+    statements = cfg.statements()
+    assert len(statements) == 3
+    assert all(id(stmt) in covered for stmt in statements)
+
+
+def test_if_branches_carry_condition_and_polarity():
+    cfg = _func_cfg(
+        """
+        def f(flag):
+            if flag:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    test_node = next(n for n in cfg.nodes if n.kind == "test")
+    out = cfg.succs(test_node.index)
+    assert {edge.polarity for edge in out} == {True, False}
+    assert all(edge.cond is test_node.stmt.test for edge in out)
+
+
+def test_while_true_has_no_false_exit_edge():
+    cfg = _func_cfg(
+        """
+        def f(queue):
+            while True:
+                item = queue.get()
+                if item is None:
+                    break
+                queue.put(item)
+        """
+    )
+    while_node = next(
+        n for n in cfg.nodes if n.kind == "test" and isinstance(n.stmt, ast.While)
+    )
+    polarities = [edge.polarity for edge in cfg.succs(while_node.index)]
+    assert False not in polarities
+    # The loop is left through the break, which still reaches the exit.
+    assert any(edge.dst == cfg.exit for edge in cfg.edges)
+
+
+def test_finally_body_is_duplicated_per_route():
+    source = textwrap.dedent(
+        """
+        def f(x):
+            try:
+                if x:
+                    return 1
+            finally:
+                cleanup()
+            return 0
+        """
+    )
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    finally_stmt = func.body[0].finalbody[0]
+    copies = sum(1 for node in cfg.nodes if node.stmt is finally_stmt)
+    # One copy on the return-unwinding route, one on normal completion.
+    assert copies >= 2
+
+
+def test_exception_edges_only_inside_handler_bearing_try():
+    cfg = _func_cfg(
+        """
+        def f():
+            work()
+            try:
+                risky()
+            except RuntimeError:
+                recover()
+            return 0
+        """
+    )
+
+    def stmt_node(callee):
+        return next(
+            n
+            for n in cfg.nodes
+            if n.kind == "stmt"
+            and isinstance(n.stmt, ast.Expr)
+            and isinstance(n.stmt.value, ast.Call)
+            and n.stmt.value.func.id == callee
+        )
+
+    outside = [e for e in cfg.succs(stmt_node("work").index) if e.kind == "exception"]
+    assert outside == []
+    inside = [e for e in cfg.succs(stmt_node("risky").index) if e.kind == "exception"]
+    assert inside
+    assert all(cfg.nodes[e.dst].kind == "handler" for e in inside)
+
+
+def test_bare_raise_routes_to_raise_exit_not_exit():
+    cfg = _func_cfg(
+        """
+        def f():
+            raise ValueError("boom")
+        """
+    )
+    assert any(edge.dst == cfg.raise_exit for edge in cfg.edges)
+    assert not any(edge.dst == cfg.exit for edge in cfg.edges)
+
+
+# ----------------------------------------------------------------------
+# randomly generated programs: every statement gets at least one node
+# ----------------------------------------------------------------------
+_SIMPLE = ("x = 1", "y = helper(x)", "pass", "x = x + 1")
+
+
+@st.composite
+def _statement(draw, depth, in_loop):
+    kinds = ["simple", "simple", "return", "raise"]
+    if in_loop:
+        kinds += ["break", "continue"]
+    if depth < 2:
+        kinds += ["if", "while", "for", "try"]
+    kind = draw(st.sampled_from(kinds))
+    pad = "    "
+    if kind == "simple":
+        return [draw(st.sampled_from(_SIMPLE))]
+    if kind == "return":
+        return ["return x"]
+    if kind == "raise":
+        return ["raise ValueError(x)"]
+    if kind in ("break", "continue"):
+        return [kind]
+    if kind == "if":
+        lines = ["if cond:"]
+        lines += [pad + line for line in draw(_block(depth + 1, in_loop))]
+        if draw(st.booleans()):
+            lines += ["else:"]
+            lines += [pad + line for line in draw(_block(depth + 1, in_loop))]
+        return lines
+    if kind == "while":
+        lines = ["while cond:"]
+        lines += [pad + line for line in draw(_block(depth + 1, True))]
+        return lines
+    if kind == "for":
+        lines = ["for item in items:"]
+        lines += [pad + line for line in draw(_block(depth + 1, True))]
+        return lines
+    lines = ["try:"]
+    lines += [pad + line for line in draw(_block(depth + 1, in_loop))]
+    with_handler = draw(st.booleans())
+    if with_handler:
+        lines += ["except RuntimeError:"]
+        lines += [pad + line for line in draw(_block(depth + 1, in_loop))]
+    if not with_handler or draw(st.booleans()):
+        lines += ["finally:"]
+        lines += [pad + line for line in draw(_block(depth + 1, in_loop))]
+    return lines
+
+
+@st.composite
+def _block(draw, depth=0, in_loop=False):
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        lines.extend(draw(_statement(depth, in_loop)))
+    return lines
+
+
+@given(_block())
+@settings(max_examples=80, deadline=None)
+def test_cfg_covers_every_statement_of_random_programs(lines):
+    source = "def f(x, cond, items, helper):\n" + "\n".join(
+        "    " + line for line in lines
+    )
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    covered = {id(node.stmt) for node in cfg.nodes if node.stmt is not None}
+    for stmt in cfg.statements():
+        assert id(stmt) in covered
+    indices = {node.index for node in cfg.nodes}
+    for edge in cfg.edges:
+        assert edge.src in indices
+        assert edge.dst in indices
+
+
+# ----------------------------------------------------------------------
+# worklist engine
+# ----------------------------------------------------------------------
+class _AssignedNames(ForwardAnalysis):
+    """Toy may-analysis: the set of names assigned so far."""
+
+    def initial_state(self, cfg):
+        return frozenset()
+
+    def transfer(self, node, state):
+        if node.kind == "stmt" and isinstance(node.stmt, ast.Assign):
+            return state | {node.stmt.targets[0].id}
+        return state
+
+    def join(self, left, right):
+        return left | right
+
+
+def test_run_forward_joins_facts_across_branches():
+    cfg = _func_cfg(
+        """
+        def f(flag):
+            if flag:
+                a = 1
+            else:
+                b = 2
+            return 0
+        """
+    )
+    states = run_forward(cfg, _AssignedNames())
+    assert states[cfg.exit] == {"a", "b"}
+
+
+def test_run_forward_reaches_fixpoint_through_loops():
+    cfg = _func_cfg(
+        """
+        def f(items):
+            for item in items:
+                a = item
+            return 0
+        """
+    )
+    states = run_forward(cfg, _AssignedNames())
+    assert states[cfg.exit] == {"a"}
+
+
+# ----------------------------------------------------------------------
+# one-level summaries
+# ----------------------------------------------------------------------
+_SUMMARY_SRC = """
+def dispose(kernel, pfn):
+    kernel.frame_pool.free(pfn)
+
+def acquire(kernel):
+    pop = kernel.free_queue.pop()
+    if pop.empty:
+        return None
+    return pop.pfn
+
+def padded_ns(base_ns):
+    return base_ns + 5.0
+
+def arm(sim, timeout_ns, cb):
+    sim.schedule(timeout_ns, cb)
+
+def unordered_pages():
+    return {1, 2, 3}
+"""
+
+
+def test_function_summaries_export_the_expected_facts():
+    project = build_project([("mod.py", ast.parse(_SUMMARY_SRC))])
+    functions = project.module_functions["mod.py"]
+    assert "pfn" in functions["dispose"].releases_params
+    assert functions["acquire"].returns_handle == "frame"
+    assert functions["padded_ns"].returns_unit == NS
+    assert functions["arm"].param_units["timeout_ns"] == NS
+    assert functions["unordered_pages"].returns_set
+    assert not functions["dispose"].returns_set
+
+
+def test_summary_resolution_prefers_module_then_unique():
+    project = build_project([("mod.py", ast.parse(_SUMMARY_SRC))])
+    call = ast.parse("dispose(kernel, pfn)").body[0].value
+    assert project.resolve_call(call, "mod.py").name == "dispose"
+    # From another file the bare name does not resolve, but a unique
+    # attribute call does.
+    assert project.resolve_call(call, "other.py") is None
+    attr_call = ast.parse("helpers.dispose(kernel, pfn)").body[0].value
+    assert project.resolve_call(attr_call, "other.py").name == "dispose"
+
+
+# ----------------------------------------------------------------------
+# cross-function behaviour through summaries
+# ----------------------------------------------------------------------
+def test_set_taint_crosses_function_boundaries():
+    findings = _rules(
+        """
+        def unordered_pages():
+            return {1, 2, 3}
+
+        def schedule_all(sim, cb):
+            for page in unordered_pages():
+                sim.schedule(page, cb)
+        """
+    )
+    assert "REP003" in findings
+
+
+def test_unit_mismatch_detected_through_callee_summary():
+    findings = _rules(
+        """
+        def callback():
+            pass
+
+        def arm(sim, timeout_ns, cb):
+            sim.schedule(timeout_ns, cb)
+
+        def caller(sim, budget_cycles):
+            arm(sim, budget_cycles, callback)
+        """
+    )
+    assert "REP103" in findings
+
+
+def test_release_through_helper_summary_is_not_a_leak():
+    findings = _rules(
+        """
+        def dispose(kernel, pfn):
+            kernel.frame_pool.free(pfn)
+
+        def user(kernel):
+            pfn = kernel.frame_pool.try_alloc()
+            if pfn < 0:
+                return False
+            dispose(kernel, pfn)
+            return True
+        """
+    )
+    assert "REP111" not in findings
+
+
+def test_handle_returned_by_helper_leaks_in_caller():
+    findings = _findings(
+        """
+        def acquire(kernel):
+            pop = kernel.free_queue.pop()
+            if pop.empty:
+                return None
+            return pop.pfn
+
+        def forgets(kernel, log):
+            pfn = acquire(kernel)
+            if pfn is None:
+                return False
+            log.info(pfn)
+            return True
+        """
+    )
+    assert ("REP111", 9) in findings
+
+
+# ----------------------------------------------------------------------
+# path sensitivity of the conservation analysis
+# ----------------------------------------------------------------------
+def test_double_try_alloc_rebinding_is_not_a_leak():
+    # The Kernel.alloc_frame shape: rebind after direct reclaim, raise
+    # when still empty, return the frame otherwise.
+    findings = _rules(
+        """
+        def alloc_frame(kernel, thread):
+            pfn = kernel.frame_pool.try_alloc()
+            if pfn < 0:
+                kernel.direct_reclaim(thread)
+                pfn = kernel.frame_pool.try_alloc()
+                if pfn < 0:
+                    raise MemoryError("out of frames")
+            return pfn
+        """
+    )
+    assert "REP111" not in findings
+
+
+def test_leak_via_exception_handler_path():
+    findings = _rules(
+        """
+        def risky(kernel, device):
+            pop = kernel.free_queue.pop()
+            if pop.empty:
+                return False
+            try:
+                device.poke()
+            except RuntimeError:
+                return False
+            kernel.frame_pool.free(pop.pfn)
+            return True
+        """
+    )
+    assert "REP111" in findings
+
+
+def test_coalesced_flag_refinement_suppresses_false_leak():
+    findings = _rules(
+        """
+        def coalesced(pmshr, pte_addr):
+            entry, created = pmshr.lookup_or_allocate(pte_addr, 0, 0, 0, 0)
+            if entry is None:
+                return False
+            if not created:
+                return True
+            pmshr.release(entry, 7)
+            return True
+        """
+    )
+    assert "REP112" not in findings
+
+
+# ----------------------------------------------------------------------
+# regressions: the real findings this suite caught in the simulator
+# ----------------------------------------------------------------------
+def test_per_event_completion_label_is_flagged_on_hot_path():
+    # The pre-fix Smu._register_io body: an f-string Completion label
+    # built for every registered I/O.
+    findings = _rules(
+        """
+        # repro: hot-path
+        def _register_io(self, entry):
+            done = Completion(self.sim, f"smu-io-{entry.index}")
+            self._inflight_by_tag[entry.index] = done
+            return done
+        """
+    )
+    assert "REP122" in findings
+
+
+def test_repeated_counter_chain_in_retry_loop_is_flagged():
+    # The pre-fix retry loops in Smu._handle_miss / _major_fault.
+    findings = _rules(
+        """
+        # repro: hot-path
+        def retry(self, attempts):
+            for attempt in attempts:
+                self.kernel.counters.add("io_errors")
+                self.kernel.counters.add("io_retries")
+        """
+    )
+    assert "REP123" in findings
+
+
+def test_hoisted_counter_chain_is_clean():
+    findings = _rules(
+        """
+        # repro: hot-path
+        def retry(self, attempts):
+            add = self.kernel.counters.add
+            for attempt in attempts:
+                add("io_errors")
+                add("io_retries")
+        """
+    )
+    assert "REP123" not in findings
+
+
+def test_unit_flow_through_loop_target():
+    findings = _rules(
+        """
+        def callback():
+            pass
+
+        def drain(sim, delays_cycles):
+            for delay in delays_cycles:
+                sim.schedule(delay, callback)
+        """
+    )
+    assert "REP103" in findings

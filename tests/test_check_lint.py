@@ -24,6 +24,14 @@ DIRTY_FIXTURES = [
     ("REP004", "rep004_time_equality.py"),
     ("REP005", "rep005_id_ordering.py"),
     ("REP006", "rep006_negative_delay.py"),
+    ("REP101", "rep101_mixed_unit_arithmetic.py"),
+    ("REP102", "rep102_mixed_unit_comparison.py"),
+    ("REP103", "rep103_unit_sink_mismatch.py"),
+    ("REP111", "rep111_frame_leak.py"),
+    ("REP112", "rep112_pmshr_leak.py"),
+    ("REP121", "rep121_hot_path_allocation.py"),
+    ("REP122", "rep122_hot_path_string.py"),
+    ("REP123", "rep123_hot_path_attribute_chain.py"),
 ]
 
 
@@ -143,3 +151,76 @@ def test_cli_usage_error_exits_two():
     with pytest.raises(SystemExit) as excinfo:
         check_main(["lint"])  # missing required paths
     assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def test_baseline_round_trip_suppresses_known_findings(tmp_path, capsys):
+    dirty = str(FIXTURES / "rep101_mixed_unit_arithmetic.py")
+    baseline = tmp_path / "baseline.json"
+
+    # Recording the current findings exits 0 and writes the file.
+    assert check_main(["lint", dirty, "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert json.loads(baseline.read_text())["version"] == 1
+
+    # With the baseline applied the same tree is clean...
+    assert check_main(["lint", dirty, "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # ...but a fresh violation still bites through it.
+    extra = tmp_path / "fresh.py"
+    extra.write_text("def f(a_ns, b_cycles):\n    return a_ns + b_cycles\n")
+    assert check_main(["lint", dirty, str(extra), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert str(extra.resolve()) in out
+    assert dirty not in out
+
+
+def test_baseline_counts_cap_per_key(tmp_path):
+    from repro.check import apply_baseline, lint_paths as lp, load_baseline, write_baseline
+
+    dirty = FIXTURES / "rep101_mixed_unit_arithmetic.py"
+    diagnostics = lp([str(dirty)])
+    assert len(diagnostics) >= 2
+    # Baseline only the first finding: the rest must survive application.
+    write_baseline(str(tmp_path / "b.json"), diagnostics[:1])
+    remaining = apply_baseline(diagnostics, load_baseline(str(tmp_path / "b.json")))
+    assert len(remaining) == len(diagnostics) - 1
+
+
+def test_committed_baseline_is_empty():
+    committed = Path(__file__).parent.parent / "check-baseline.json"
+    data = json.loads(committed.read_text())
+    assert data["findings"] == []
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+def test_cli_sarif_format(capsys):
+    path = FIXTURES / "rep121_hot_path_allocation.py"
+    assert check_main(["lint", str(path), "--format", "sarif"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == "2.1.0"
+    run = report["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-check"
+    rules = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    results = run["results"]
+    assert results
+    for result in results:
+        assert result["ruleId"] == "REP121"
+        assert result["ruleId"] in rules
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "rep121_hot_path_allocation.py"
+        )
+        assert location["region"]["startLine"] in expected_lines(path, "REP121")
+
+
+def test_sarif_clean_run_has_no_results():
+    from repro.check import to_sarif
+
+    report = to_sarif([])
+    assert report["runs"][0]["results"] == []
