@@ -52,7 +52,14 @@ from repro.experiments.runner import PAPER_SHAPE, QUICK  # noqa: E402
 from repro.obs.runtime import Observation  # noqa: E402
 
 #: Bump when the snapshot layout changes.
-BENCH_SCHEMA = 1
+#:
+#: * 1 — per-experiment entries + naive totals.
+#: * 2 — suite totals exclude zero-event analytic experiments (fig02
+#:   records ``events: 0`` and would drag the aggregate events/sec);
+#:   ``totals.measured_wall_s``/``totals.excluded_zero_event`` record the
+#:   exclusion, and an optional ``warm_start`` section carries paired
+#:   cold-vs-warm grid measurements (tables asserted byte-identical).
+BENCH_SCHEMA = 2
 
 _SCALES = {"quick": QUICK, "paper-shape": PAPER_SHAPE}
 
@@ -105,6 +112,12 @@ def run_suite(suite, label: str) -> dict:
         )
     total_wall = sum(r["wall_s"] for r in results)
     total_events = sum(r["events"] for r in results)
+    # Zero-event analytic experiments (fig02's closed-form tables) cost
+    # wall time but dispatch nothing; folding them into the aggregate
+    # would under-report the engine's events/sec.
+    measured = [r for r in results if r["events"] > 0]
+    measured_wall = sum(r["wall_s"] for r in measured)
+    excluded = sorted(r["experiment"] for r in results if r["events"] == 0)
     return {
         "schema": BENCH_SCHEMA,
         "label": label,
@@ -117,11 +130,93 @@ def run_suite(suite, label: str) -> dict:
         "results": results,
         "totals": {
             "wall_s": round(total_wall, 4),
+            "measured_wall_s": round(measured_wall, 4),
             "events": total_events,
-            "events_per_sec": round(total_events / total_wall, 1)
-            if total_wall > 0
+            "events_per_sec": round(total_events / measured_wall, 1)
+            if measured_wall > 0
             else None,
+            "excluded_zero_event": excluded,
+            "note": "events_per_sec excludes zero-event analytic experiments",
         },
+    }
+
+
+_WARM_LEG_SCRIPT = """\
+import json, sys, time
+src, name, scale_name, warm_flag, out = sys.argv[1:6]
+sys.path.insert(0, src)
+from repro.experiments import registry
+from repro.experiments.engine import execute
+from repro.experiments.runner import PAPER_SHAPE, QUICK
+scale = {"quick": QUICK, "paper-shape": PAPER_SHAPE}[scale_name]
+spec = registry.get_spec(name)
+started = time.perf_counter()
+report = execute([spec], scale, warm_start=warm_flag == "1")
+wall_s = time.perf_counter() - started
+with open(out, "w") as handle:
+    json.dump(
+        {
+            "wall_s": wall_s,
+            "table": report.results[0].to_text(),
+            "cells": report.total_cells,
+            "warm_groups": report.supervision.get("warm_groups", 0),
+            "warm_cells": report.supervision.get("warm_cells", 0),
+        },
+        handle,
+    )
+"""
+
+
+def _warm_leg(name: str, scale_name: str, warm: bool) -> dict:
+    import subprocess
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(suffix=".json") as out:
+        subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _WARM_LEG_SCRIPT,
+                str(_REPO_SRC),
+                name,
+                scale_name,
+                "1" if warm else "0",
+                out.name,
+            ],
+            check=True,
+        )
+        with open(out.name) as handle:
+            return json.load(handle)
+
+
+def measure_warm_grid(name: str, scale_name: str) -> dict:
+    """Paired cold-vs-warm measurement of a warmup-sharing grid.
+
+    Each leg runs in its own fresh interpreter: a shared process would
+    hand the second leg pre-built caches and charge the warm executor's
+    forks for the first leg's dirtied heap (copy-on-write touches every
+    refcounted page), skewing the ratio in either direction.  The merged
+    tables must be byte-identical before the ratio is reported, so a
+    recorded speedup can never hide a divergent result.
+    """
+    cold = _warm_leg(name, scale_name, warm=False)
+    warm = _warm_leg(name, scale_name, warm=True)
+    if cold["table"] != warm["table"]:
+        raise SystemExit(
+            f"warm-start {name}@{scale_name} diverged from the cold grid"
+        )
+    return {
+        "experiment": name,
+        "scale": scale_name,
+        "cells": warm["cells"],
+        "warm_groups": warm["warm_groups"],
+        "warm_cells": warm["warm_cells"],
+        "cold_wall_s": round(cold["wall_s"], 4),
+        "warm_wall_s": round(warm["wall_s"], 4),
+        "speedup": round(cold["wall_s"] / warm["wall_s"], 3)
+        if warm["wall_s"] > 0
+        else None,
+        "tables_identical": True,
     }
 
 
@@ -304,6 +399,18 @@ def main(argv=None) -> int:
         default=5,
         help="interleaved repeats per mode for --overhead-check (default 5)",
     )
+    parser.add_argument(
+        "--warm-grid",
+        metavar="NAME",
+        help="also pair-measure this warmup-sharing grid cold vs warm "
+        "(at --scale) and record it under the snapshot's warm_start section",
+    )
+    parser.add_argument(
+        "--no-warm-grid",
+        action="store_true",
+        help="skip the default suite's policy-zoo@paper-shape warm-start "
+        "measurement",
+    )
     args = parser.parse_args(argv)
 
     if args.overhead_check:
@@ -336,11 +443,33 @@ def main(argv=None) -> int:
 
     snapshot = run_suite(suite, args.label)
     totals = snapshot["totals"]
+    rate = totals["events_per_sec"]
     print(
-        f"[perf: TOTAL {totals['events']} events in {totals['wall_s']:.2f}s "
-        f"= {totals['events_per_sec']:,.0f} events/s]",
+        f"[perf: TOTAL {totals['events']} events in "
+        f"{totals['measured_wall_s']:.2f}s measured "
+        f"({totals['wall_s']:.2f}s suite) = "
+        + (f"{rate:,.0f} events/s]" if rate else "no measured events]"),
         file=sys.stderr,
     )
+
+    warm_grids = []
+    if args.warm_grid:
+        warm_grids.append((args.warm_grid, args.scale))
+    elif not args.only and not args.no_warm_grid:
+        warm_grids.append(("policy-zoo", "paper-shape"))
+    if warm_grids:
+        snapshot["warm_start"] = []
+        for grid_name, grid_scale in warm_grids:
+            entry = measure_warm_grid(grid_name, grid_scale)
+            snapshot["warm_start"].append(entry)
+            print(
+                f"[perf: warm-start {entry['experiment']}@{entry['scale']}: "
+                f"cold {entry['cold_wall_s']:.2f}s, warm "
+                f"{entry['warm_wall_s']:.2f}s = {entry['speedup']:.2f}x "
+                f"({entry['warm_cells']}/{entry['cells']} cells in "
+                f"{entry['warm_groups']} groups, tables identical)]",
+                file=sys.stderr,
+            )
 
     if not args.no_record:
         path = pathlib.Path(args.out) if args.out else next_bench_path()

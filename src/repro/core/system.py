@@ -94,9 +94,13 @@ class System:
         self,
         processes: Sequence[Process],
         max_events: Optional[int] = None,
+        stop_daemons: bool = True,
     ) -> float:
         """Run until every given workload process finishes; returns the
-        finish time in ns.  Kernel daemons are stopped afterwards.
+        finish time in ns.  Kernel daemons are stopped afterwards unless
+        ``stop_daemons=False`` (multi-phase workloads that will run again
+        on the same machine, e.g. a shared warmup before the measured
+        phase).
 
         Completion is tracked with each process's synchronous
         ``on_finish`` countdown hook — no per-event ``all(...)`` scan, no
@@ -138,7 +142,8 @@ class System:
                         )
                     dispatched += 1
         finish = sim.now
-        self.kernel.stop()
+        if stop_daemons:
+            self.kernel.stop()
         return finish
 
     def spawn(self, body: Any, name: str = "workload") -> Process:

@@ -31,6 +31,18 @@ Conventions:
 * ``--timeout`` / ``--max-retries`` supervise cells: a hung or crashed
   cell is killed, retried with backoff on a fresh worker, and fully
   journaled instead of aborting the grid;
+* experiments that declare shared-warmup structure simulate each warmup
+  prefix **once** per group and fork their cells from the live warmed-up
+  process (serial runs only; disable with ``--no-warm-start`` — output is
+  byte-identical either way);
+* ``--checkpoint-interval N`` journals a simulation-state digest every N
+  dispatched events per cell; ``--resume`` then replays interrupted cells
+  and verifies every recorded digest, proving the resumed run
+  byte-identical;
+* ``--cache-prune [MB]`` bounds ``benchmarks/.cache/`` (LRU) and
+  ``benchmarks/.runs/`` (oldest finished run first) and exits; with
+  ``$REPRO_CACHE_MAX_MB`` / ``$REPRO_RUNS_MAX_MB`` set, every run prunes
+  automatically on exit;
 * SIGINT/SIGTERM drain in-flight cells, journal a ``suspended`` record,
   and exit 3 (a second signal aborts immediately);
 * exit code 0 = success, 1 = an experiment failed, 2 = usage error
@@ -42,6 +54,7 @@ See ``docs/execution.md`` for the full run lifecycle and journal schema.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 import time
@@ -63,6 +76,7 @@ from repro.experiments.journal import (
     RunJournal,
     find_run,
     load_state,
+    prune_runs,
 )
 from repro.experiments.runner import PAPER_SHAPE, QUICK
 
@@ -160,6 +174,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="extra attempts for crashed/hung/raising cells (default: 1)",
     )
     parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        metavar="EVENTS",
+        help="journal a simulation-state digest every N dispatched events "
+        "per cell (forces serial in-process execution, implies --journal); "
+        "--resume replays interrupted cells and *verifies* every recorded "
+        "digest, so a resumed run is provably byte-identical",
+    )
+    parser.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable shared-warmup prefix forking: simulate every cell's "
+        "warmup from scratch even when its experiment declares warmup "
+        "structure (output is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-prune",
+        nargs="?",
+        type=int,
+        const=-1,
+        default=None,
+        metavar="MB",
+        help="prune benchmarks/.cache/ and benchmarks/.runs/ to the given "
+        "size cap (LRU for the cache, oldest-finished-run-first for runs) "
+        "and exit; without a value, caps come from $REPRO_CACHE_MAX_MB / "
+        "$REPRO_RUNS_MAX_MB (default 512 each).  When those variables are "
+        "set, every run also prunes automatically on exit",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="record every page miss's lifecycle and write a Perfetto-"
@@ -203,14 +246,27 @@ def main(argv=None) -> int:
     if args.list_specs:
         _list_specs(sys.stdout)
         return 0
+    if args.cache_prune is not None:
+        return _prune_storage(args.cache_prune)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.retry_failed and not args.resume:
         parser.error("--retry-failed only makes sense with --resume")
+    if args.checkpoint_interval is not None:
+        if args.checkpoint_interval < 1:
+            parser.error("--checkpoint-interval must be >= 1")
+        if args.trace or args.metrics or args.sanitize:
+            parser.error(
+                "--checkpoint-interval cannot be combined with "
+                "--trace/--metrics/--sanitize (both claim the in-process "
+                "observation slot)"
+            )
 
     cache = None if args.no_cache else CellCache()
     journal = None
     skip_failed = None
+    checkpoint_interval = args.checkpoint_interval
+    resume_checkpoints = None
 
     requested = list(args.names) + list(args.only)
     if args.resume:
@@ -247,6 +303,24 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
         journal = RunJournal.attach(args.resume, argv=list(argv or sys.argv[1:]))
+        if state.checkpoint_interval is not None:
+            if (
+                checkpoint_interval is not None
+                and checkpoint_interval != state.checkpoint_interval
+            ):
+                print(
+                    f"[resume: using the journal's --checkpoint-interval "
+                    f"{state.checkpoint_interval} (not {checkpoint_interval}) "
+                    "so replayed cells hit the recorded digest boundaries]",
+                    file=sys.stderr,
+                )
+            checkpoint_interval = state.checkpoint_interval
+        if checkpoint_interval is not None:
+            resume_checkpoints = {}
+            for exp_name, table in state.cells.items():
+                for key, record in table.items():
+                    if record.checkpoints:
+                        resume_checkpoints[(exp_name, key)] = record.checkpoints
         done = sum(len(state.done_keys(name)) for name in state.specs)
         print(
             f"[resume {args.resume}: {len(specs)} experiments, {done} cells "
@@ -261,13 +335,14 @@ def main(argv=None) -> int:
             parser.error(str(error.args[0]))
         scale = _SCALES[args.scale]
         jobs = args.jobs if args.jobs is not None else 1
-        if args.journal or args.run_id:
+        if args.journal or args.run_id or checkpoint_interval is not None:
             journal = RunJournal.create(
                 scale=scale_to_dict(scale),
                 jobs=jobs,
                 specs=[spec.name for spec in specs],
                 run_id=args.run_id,
                 argv=list(argv or sys.argv[1:]),
+                checkpoint_interval=checkpoint_interval,
             )
             print(f"[journal: run {journal.run_id} -> {journal.path}]", file=sys.stderr)
 
@@ -293,8 +368,23 @@ def main(argv=None) -> int:
             sanitize=args.sanitize,
         )
 
+    if checkpoint_interval is not None and jobs > 1:
+        print(
+            "[checkpoint: --checkpoint-interval forces --jobs 1 (cells must "
+            "run in-process to be digested)]",
+            file=sys.stderr,
+        )
+        jobs = 1
+
     supervise = None
-    if observation is None and (
+    if checkpoint_interval is not None:
+        if args.timeout is not None or args.max_retries is not None:
+            print(
+                "[checkpoint: cells run in-process, so --timeout/--max-retries "
+                "supervision is disabled for this run]",
+                file=sys.stderr,
+            )
+    elif observation is None and (
         jobs > 1 or args.timeout is not None or args.max_retries is not None
     ):
         supervise = SupervisorConfig(
@@ -354,6 +444,9 @@ def main(argv=None) -> int:
                     skip_failed=skip_failed,
                     should_stop=_should_stop,
                     raise_on_failure=False,
+                    warm_start=not args.no_warm_start,
+                    checkpoint_interval=checkpoint_interval,
+                    resume_checkpoints=resume_checkpoints,
                 )
             except Exception:
                 print(f"[{spec.name} FAILED]", file=sys.stderr)
@@ -412,7 +505,57 @@ def main(argv=None) -> int:
         _write_observation(observation, args, supervision_totals, cache)
         if args.sanitize and _report_hazards(observation) and status == 0:
             status = 1
+    _auto_prune(cache)
     return status
+
+
+def _env_mb(name: str, default: "int | None") -> "int | None":
+    """An ``NNN``-megabyte environment knob, or ``default`` when unset/bad."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        print(f"[prune: ignoring non-integer ${name}={raw!r}]", file=sys.stderr)
+        return default
+    return value if value >= 0 else default
+
+
+def _prune_storage(mb: int) -> int:
+    """``--cache-prune [MB]``: bound both on-disk stores and exit."""
+    cache_mb = mb if mb >= 0 else _env_mb("REPRO_CACHE_MAX_MB", 512)
+    runs_mb = mb if mb >= 0 else _env_mb("REPRO_RUNS_MAX_MB", 512)
+    cache = CellCache()
+    removed = cache.prune(cache_mb * 1024 * 1024)
+    pruned_runs = prune_runs(runs_mb * 1024 * 1024)
+    print(
+        f"[prune: {removed} cache files evicted (cap {cache_mb} MB), "
+        f"{pruned_runs} finished runs removed (cap {runs_mb} MB)]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _auto_prune(cache) -> None:
+    """Honour $REPRO_CACHE_MAX_MB / $REPRO_RUNS_MAX_MB after every run."""
+    cache_mb = _env_mb("REPRO_CACHE_MAX_MB", None)
+    if cache is not None and cache_mb is not None:
+        removed = cache.prune(cache_mb * 1024 * 1024)
+        if removed:
+            print(
+                f"[prune: {removed} cache files evicted "
+                f"(cap {cache_mb} MB)]",
+                file=sys.stderr,
+            )
+    runs_mb = _env_mb("REPRO_RUNS_MAX_MB", None)
+    if runs_mb is not None:
+        pruned = prune_runs(runs_mb * 1024 * 1024)
+        if pruned:
+            print(
+                f"[prune: {pruned} finished runs removed (cap {runs_mb} MB)]",
+                file=sys.stderr,
+            )
 
 
 def _report_hazards(observation) -> int:

@@ -19,6 +19,13 @@ store for ``done`` cells):
   silently treated as a miss: it is **quarantined** by renaming it to
   ``<key>.json.corrupt`` for inspection and tallied in ``stats`` under
   ``corrupt`` (surfaced as the ``cache.corrupt`` metric).
+
+The cache also stores **warmup prefix artifacts** (``prefix-<key>.json``):
+event count, simulated time, and state digest of each shared warmup
+prefix the warm-start executor simulates, so later runs verify their
+warmup against the recorded digest.  Growth is bounded by :meth:`
+CellCache.prune` — size-capped LRU eviction (``get`` refreshes mtime on
+hits) that includes quarantined ``.corrupt`` files.
 """
 
 from __future__ import annotations
@@ -100,6 +107,11 @@ class CellCache:
             self._quarantine(path)
             return None
         self.stats.add("hits")
+        try:
+            # Refresh recency so ``prune`` evicts by last use, not write time.
+            os.utime(path)
+        except OSError:
+            pass
         return entry["payload"]
 
     def put(
@@ -146,4 +158,112 @@ class CellCache:
                     removed += 1
                 except OSError:
                     pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # warmup prefix artifacts
+    # ------------------------------------------------------------------
+    def _prefix_path(self, experiment: str, key: str) -> Path:
+        return self.root / experiment / f"prefix-{key}.json"
+
+    def get_prefix(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
+        """The recorded warmup-prefix artifact for ``key``, or ``None``.
+
+        Corrupt artifacts are quarantined exactly like cell entries.
+        """
+        path = self._prefix_path(experiment, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self._quarantine(path)
+            return None
+        return entry
+
+    def put_prefix(self, experiment: str, key: str, artifact: Dict[str, Any]) -> None:
+        """Store a warmup-prefix artifact atomically and durably.
+
+        The artifact records the prefix's event count, simulated time, and
+        state digest: later runs with the same key (same source
+        fingerprint, scale, and group params) verify their freshly
+        simulated prefix against it, turning silent nondeterminism into a
+        loud diagnostic.
+        """
+        path = self._prefix_path(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = dict(artifact)
+        entry["key"] = key
+        entry["experiment"] = experiment
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+            self.stats.add("writes")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # bounded growth
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total bytes across entries, prefix artifacts, and quarantine."""
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*"):
+                if path.is_file():
+                    try:
+                        total += path.stat().st_size
+                    except OSError:
+                        pass
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used files until the cache fits ``max_bytes``.
+
+        Recency is the file mtime (``get`` refreshes it on a hit, making
+        eviction genuinely LRU rather than FIFO).  Quarantined
+        ``.corrupt`` files are first-class candidates — they are kept for
+        inspection, not forever.  Returns the number of files removed.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        if not self.root.is_dir():
+            return 0
+        files = []
+        total = 0
+        for path in self.root.rglob("*"):
+            if not path.is_file():
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        files.sort(key=lambda item: (item[0], str(item[2])))
+        removed = 0
+        for mtime, size, path in files:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.stats.add("pruned")
         return removed

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sys
 import time
 from collections import deque
@@ -120,6 +121,28 @@ def cell_key(spec: ExperimentSpec, scale: ExperimentScale, cell: Cell) -> str:
             "fingerprint": spec_fingerprint(spec),
             "scale": scale_to_dict(scale),
             "params": cell.as_dict(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+def warm_prefix_key(
+    spec: ExperimentSpec, scale: ExperimentScale, group_params: Params
+) -> str:
+    """Content hash identifying one shared warmup prefix.
+
+    Same invalidation surface as :func:`cell_key` (source fingerprint +
+    scale) restricted to the params the warmup depends on, so every cell
+    sharing a prefix shares the key and a source edit invalidates both
+    the cells and their prefix artifact together.
+    """
+    blob = json.dumps(
+        {
+            "experiment": spec.name,
+            "fingerprint": spec_fingerprint(spec),
+            "scale": scale_to_dict(scale),
+            "group": group_params,
         },
         sort_keys=True,
     )
@@ -271,6 +294,9 @@ def execute(
     skip_failed: Optional[Dict[Tuple[str, str], CellFailure]] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     raise_on_failure: bool = True,
+    warm_start: bool = True,
+    checkpoint_interval: Optional[int] = None,
+    resume_checkpoints: Optional[Dict[Tuple[str, str], List[Dict[str, Any]]]] = None,
 ) -> ExecutionReport:
     """Run ``specs`` and return merged results in the order given.
 
@@ -294,6 +320,25 @@ def execute(
     re-dispatched, their failure is re-reported instead (``--retry-failed``
     clears the map).
 
+    ``warm_start`` (default on) exploits declared shared-warmup structure
+    on the serial path: cells of a :class:`~repro.experiments.registry.
+    WarmupSpec`-carrying spec are grouped by warmup-prefix key, each
+    prefix is simulated **once** per group, and every cell forks from the
+    live warmed-up process — O(groups × warmup) instead of O(cells ×
+    warmup) — with the prefix's state digest recorded as a cache artifact
+    and verified against prior runs.  Fork inherits memory exactly, so a
+    warm cell is byte-identical to a cold one; supervised/pool/observed
+    paths always run cold.
+
+    ``checkpoint_interval`` attaches a
+    :class:`repro.sim.checkpoint.CheckpointObserver` to every simulator a
+    cell builds, journaling a state digest every N events (cells run
+    serially in-process, like observation).  ``resume_checkpoints`` maps
+    ``(experiment, cell key)`` to that cell's recorded checkpoint records
+    from a prior journal: the replayed cell verifies each recorded
+    boundary digest and raises on divergence, so a resumed long cell is
+    *proved* byte-identical, not assumed.
+
     Failing cells never abort the grid; they are collected and re-raised
     as one :class:`ExperimentFailure` at the end (or only reported in
     ``report.failures`` when ``raise_on_failure=False``).
@@ -301,7 +346,10 @@ def execute(
     resolved = [get_spec(s) if isinstance(s, str) else s for s in specs]
     if cells_override is not None and len(resolved) != 1:
         raise ValueError("cells_override requires exactly one spec")
+    if checkpoint_interval is not None and observation is not None:
+        raise ValueError("checkpoint_interval cannot be combined with observation")
     observing = observation is not None
+    bypass_cache = observing and getattr(observation, "bypass_cache", True)
     need_keys = cache is not None or journal is not None or bool(skip_failed)
 
     report = ExecutionReport(supervision=_new_supervision_counters())
@@ -325,7 +373,7 @@ def execute(
                 continue
             hit = (
                 cache.get(spec.name, key)
-                if cache is not None and not observing
+                if cache is not None and not bypass_cache
                 else None
             )
             if hit is not None:
@@ -385,6 +433,80 @@ def execute(
             wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
             _finish(slot, payload, 1, wall_s, label)
 
+    def _run_checkpointed(slots: Sequence[_Slot]) -> None:
+        """Serial execution with periodic state digests journaled per cell.
+
+        Each cell runs under a private :class:`Observation` whose only job
+        is attaching a :class:`repro.sim.checkpoint.CheckpointObserver`
+        to every simulator the cell builds.  On resume, the recorded
+        digests become ``expect`` values — the replay raises the moment
+        it diverges from the original run.
+        """
+        from repro.obs import runtime as obs_runtime
+        from repro.sim.checkpoint import CheckpointObserver
+
+        for position, slot in enumerate(slots):
+            if should_stop is not None and should_stop():
+                report.interrupted = True
+                report.skipped += len(slots) - position
+                return
+            spec, cell, key = slot[2], slot[3], slot[4]
+            if journal is not None and key is not None:
+                journal.cell_dispatched(spec.name, key, 1, "inline-ckpt")
+            recorded = (
+                resume_checkpoints.get((spec.name, key), [])
+                if resume_checkpoints and key is not None
+                else []
+            )
+            # Cells may build several simulators; expectations are keyed
+            # by build order (the ``sim`` index of the journal record).
+            expect_by_sim: Dict[int, Dict[int, str]] = {}
+            for record in recorded:
+                expect_by_sim.setdefault(int(record.get("sim", 0)), {})[
+                    int(record["events"])
+                ] = str(record["digest"])
+            sim_serial = [0]
+
+            def _hook(unit: str, system: Any, _spec=spec, _key=key,
+                      _expect=expect_by_sim, _serial=sim_serial) -> None:
+                index = _serial[0]
+                _serial[0] += 1
+
+                def _record(cp: Dict[str, Any], _index=index) -> None:
+                    if journal is not None and _key is not None:
+                        journal.cell_checkpoint(
+                            _spec.name,
+                            _key,
+                            cp["events"],
+                            cp["sim_time"],
+                            cp["digest"],
+                            sim_index=_index,
+                        )
+
+                system.sim.attach(
+                    CheckpointObserver(
+                        system,
+                        interval=checkpoint_interval,
+                        on_checkpoint=_record,
+                        expect=_expect.get(index),
+                    )
+                )
+
+            probe = obs_runtime.Observation(on_system=_hook)
+            probe.bypass_cache = False
+            obs_runtime.activate(probe)
+            started = time.perf_counter()  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+            try:
+                payload = _canonical(spec.cell_fn(scale, cell.as_dict()))
+            except Exception as exc:
+                _fail(slot, "exception", f"{type(exc).__name__}: {exc}", 1,
+                      "inline-ckpt")
+                continue
+            finally:
+                obs_runtime.deactivate()
+            wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+            _finish(slot, payload, 1, wall_s, "inline-ckpt")
+
     if observing:
         from repro.obs import runtime as obs_runtime
 
@@ -410,6 +532,8 @@ def execute(
         finally:
             observation.set_unit(None)
             obs_runtime.deactivate()
+    elif pending and checkpoint_interval is not None:
+        _run_checkpointed(pending)
     elif pending and supervise is not None:
         _run_supervised(
             pending,
@@ -471,6 +595,15 @@ def execute(
         if fallback:
             ordered = sorted(fallback, key=lambda slot: (slot[0], slot[1]))
             _run_inline(ordered)
+    elif (
+        pending
+        and warm_start
+        and hasattr(os, "fork")
+        and any(slot[2].warmup is not None for slot in pending)
+    ):
+        _run_warm_start(
+            pending, scale, cache, journal, report, _finish, _run_inline, should_stop
+        )
     else:
         _run_inline(pending)
 
@@ -485,6 +618,276 @@ def execute(
     if report.failures and raise_on_failure:
         raise ExperimentFailure(report.failures)
     return report
+
+
+# ----------------------------------------------------------------------
+# shared-warmup fork executor
+# ----------------------------------------------------------------------
+def _warm_leader(
+    write_fd: int,
+    spec: ExperimentSpec,
+    scale: ExperimentScale,
+    group_params: Params,
+    slots: Sequence[_Slot],
+) -> None:
+    """Group leader (runs in a forked child; never returns).
+
+    Simulates the shared warmup prefix once, reports its state digest,
+    then forks one grandchild per cell: the grandchild diverges via
+    ``spec.warmup.finish`` over the inherited live context and ships its
+    canonical payload back up.  Grandchildren run strictly one at a time
+    (fork → drain pipe → waitpid) so their simulations never interleave
+    and the leader's memory image stays pristine between forks.
+    """
+    stream = os.fdopen(write_fd, "w")
+
+    def _emit(record: Dict[str, Any]) -> None:
+        stream.write(json.dumps(record) + "\n")
+        stream.flush()
+
+    try:
+        try:
+            ctx = spec.warmup.prefix(scale, dict(group_params))
+        except Exception as exc:
+            _emit({"kind": "prefix-error", "error": f"{type(exc).__name__}: {exc}"})
+            return
+        prefix_record: Dict[str, Any] = {"kind": "prefix"}
+        system = ctx.get("system") if isinstance(ctx, dict) else None
+        if system is not None:
+            from repro.sim.checkpoint import snapshot_system
+
+            snap = snapshot_system(
+                system, recipe={"experiment": spec.name, "group": group_params}
+            )
+            prefix_record.update(
+                events=snap.events, sim_time=snap.sim_time, digest=snap.digest
+            )
+        _emit(prefix_record)
+        for index, slot in enumerate(slots):
+            read_fd, child_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                os.close(read_fd)
+                child_out = os.fdopen(child_fd, "w")
+                status = 0
+                try:
+                    started = time.perf_counter()  # repro: allow[REP001] reason=host-side cell timing for the journal, never feeds the simulation
+                    payload = _canonical(
+                        spec.warmup.finish(scale, slot[3].as_dict(), ctx)
+                    )
+                    wall_s = time.perf_counter() - started  # repro: allow[REP001] reason=host-side cell timing, never feeds the simulation
+                    child_out.write(
+                        json.dumps(
+                            {
+                                "kind": "cell",
+                                "index": index,
+                                "ok": True,
+                                "payload": payload,
+                                "wall_s": wall_s,
+                            }
+                        )
+                        + "\n"
+                    )
+                    child_out.flush()
+                except BaseException as exc:  # noqa: BLE001 — child must report, not unwind
+                    try:
+                        child_out.write(
+                            json.dumps(
+                                {
+                                    "kind": "cell",
+                                    "index": index,
+                                    "ok": False,
+                                    "error": f"{type(exc).__name__}: {exc}",
+                                }
+                            )
+                            + "\n"
+                        )
+                        child_out.flush()
+                    except BaseException:  # noqa: BLE001
+                        status = 1
+                finally:
+                    os._exit(status)
+            os.close(child_fd)
+            # Drain before waitpid: a payload larger than the pipe buffer
+            # would otherwise deadlock the grandchild's final write.
+            with os.fdopen(read_fd, "r") as child_in:
+                text = child_in.read()
+            os.waitpid(pid, 0)
+            line = text.strip().splitlines()
+            if line:
+                stream.write(line[-1] + "\n")
+                stream.flush()
+            else:
+                _emit({"kind": "cell", "index": index, "ok": False,
+                       "error": "warm cell worker died before reporting"})
+        _emit({"kind": "end"})
+    except BaseException:  # noqa: BLE001 — parent treats EOF as group failure
+        pass
+    finally:
+        try:
+            stream.flush()
+        except OSError:
+            pass
+        os._exit(0)
+
+
+def _run_warm_start(
+    pending: Sequence[_Slot],
+    scale: ExperimentScale,
+    cache: Optional[CellCache],
+    journal: Optional[RunJournal],
+    report: ExecutionReport,
+    _finish: Callable[..., None],
+    _run_inline: Callable[..., None],
+    should_stop: Optional[Callable[[], bool]],
+) -> None:
+    """Serial path with shared-warmup groups forked from live prefixes.
+
+    Cells whose spec declares a :class:`~repro.experiments.registry.
+    WarmupSpec` are grouped by warmup-prefix key; each group ≥ 2 cells
+    runs through a forked leader that simulates the prefix once.  Cells
+    without warmup structure — and any cell whose warm payload goes
+    missing (leader or grandchild death) — run cold inline, so warm
+    start can only save time, never lose results.
+    """
+    groups: Dict[Tuple[int, str], List[_Slot]] = {}
+    group_params: Dict[Tuple[int, str], Params] = {}
+    cold: List[_Slot] = []
+    for slot in pending:
+        spec = slot[2]
+        if spec.warmup is None:
+            cold.append(slot)
+            continue
+        params = _canonical(spec.warmup.group(slot[3].as_dict()))
+        group_id = (slot[0], json.dumps(params, sort_keys=True))
+        groups.setdefault(group_id, []).append(slot)
+        group_params[group_id] = params
+    # A prefix shared by one cell saves nothing; run it cold.
+    warm_groups = {gid: slots for gid, slots in groups.items() if len(slots) > 1}
+    for gid, slots in groups.items():
+        if gid not in warm_groups:
+            cold.extend(slots)
+    cold.sort(key=lambda slot: (slot[0], slot[1]))
+
+    fallback: List[_Slot] = []
+    for serial, (gid, slots) in enumerate(sorted(warm_groups.items()), start=1):
+        if should_stop is not None and should_stop():
+            report.interrupted = True
+            report.skipped += sum(
+                len(s) for g, s in sorted(warm_groups.items()) if g >= gid
+            )
+            break
+        spec = slots[0][2]
+        params = group_params[gid]
+        worker = f"warm-g{serial}"
+        prefix_key = warm_prefix_key(spec, scale, params)
+        if journal is not None:
+            for slot in slots:
+                if slot[4] is not None:
+                    journal.cell_dispatched(spec.name, slot[4], 1, worker)
+        try:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+        except OSError:
+            fallback.extend(slots)
+            continue
+        if pid == 0:
+            os.close(read_fd)
+            _warm_leader(write_fd, spec, scale, params, slots)  # never returns
+        os.close(write_fd)
+        records: List[Dict[str, Any]] = []
+        with os.fdopen(read_fd, "r") as stream:
+            for line in stream:
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+        os.waitpid(pid, 0)
+
+        report.supervision["warm_groups"] = (
+            report.supervision.get("warm_groups", 0) + 1
+        )
+        got: Dict[int, Dict[str, Any]] = {}
+        for record in records:
+            kind = record.get("kind")
+            if kind == "prefix" and "digest" in record:
+                _verify_prefix_artifact(
+                    cache, journal, spec, prefix_key, params, scale, record
+                )
+            elif kind == "prefix-error":
+                if journal is not None:
+                    journal.note(
+                        "warm_prefix_failed",
+                        experiment=spec.name,
+                        key=prefix_key,
+                        error=record.get("error", "?"),
+                    )
+            elif kind == "cell":
+                got[int(record.get("index", -1))] = record
+        for index, slot in enumerate(slots):
+            record = got.get(index)
+            if record is not None and record.get("ok"):
+                report.supervision["warm_cells"] = (
+                    report.supervision.get("warm_cells", 0) + 1
+                )
+                _finish(
+                    slot,
+                    record["payload"],
+                    1,
+                    float(record.get("wall_s", 0.0)),
+                    worker,
+                )
+            else:
+                # Died or raised warm: rerun cold so a real workload error
+                # surfaces through the ordinary failure path.
+                fallback.append(slot)
+
+    if fallback:
+        # _run_inline re-checks should_stop per slot, so a drain-and-stop
+        # request still short-circuits the cold remainder.
+        fallback.sort(key=lambda slot: (slot[0], slot[1]))
+        _run_inline(fallback, "inline-warm-fallback")
+    _run_inline(cold)
+
+
+def _verify_prefix_artifact(
+    cache: Optional[CellCache],
+    journal: Optional[RunJournal],
+    spec: ExperimentSpec,
+    prefix_key: str,
+    group_params: Params,
+    scale: ExperimentScale,
+    record: Dict[str, Any],
+) -> None:
+    """Record a warmup prefix's digest; shout if it drifted from a prior run."""
+    if cache is None:
+        return
+    artifact = {
+        "events": record.get("events"),
+        "sim_time": record.get("sim_time"),
+        "digest": record.get("digest"),
+        "group": group_params,
+        "scale": scale_to_dict(scale),
+    }
+    prior = cache.get_prefix(spec.name, prefix_key)
+    if prior is not None and prior.get("digest") == artifact["digest"]:
+        return
+    if prior is not None:
+        message = (
+            f"warmup prefix for {spec.name} (key {prefix_key[:12]}) diverged "
+            f"from the recorded digest: {str(prior.get('digest'))[:16]}… -> "
+            f"{str(artifact['digest'])[:16]}…"
+        )
+        sys.stderr.write(f"warning: {message}\n")
+        if journal is not None:
+            journal.note(
+                "warm_prefix_divergence",
+                experiment=spec.name,
+                key=prefix_key,
+                recorded=prior.get("digest"),
+                observed=artifact["digest"],
+            )
+    cache.put_prefix(spec.name, prefix_key, artifact)
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,12 @@ records (``dispatched``/``done``) skip the fsync — the OS already has the
 bytes, and a process kill cannot lose them — so journaling stays off the
 hot path (see ``benchmarks/perf.py --overhead-check``).
 
+Runs started with ``--checkpoint-interval`` additionally journal
+``checkpoint`` records — mid-cell state digests at periodic event
+boundaries (see :mod:`repro.sim.checkpoint`) — so a resumed run can
+replay an interrupted cell and *verify* it passes through the recorded
+states instead of trusting determinism blindly.
+
 :func:`load_state` replays a journal into a :class:`RunState`: which cells
 exist, which finished, which failed and why, and whether the run completed
 or was suspended.  ``--resume <run_id>`` (see
@@ -131,6 +137,7 @@ class RunJournal:
         root: Optional[Path] = None,
         argv: Optional[List[str]] = None,
         fsync: str = "critical",
+        checkpoint_interval: Optional[int] = None,
     ) -> "RunJournal":
         """Start a new run: make the directory, write the run header."""
         base = Path(root) if root is not None else default_runs_dir()
@@ -152,6 +159,7 @@ class RunJournal:
                 "scale": scale,
                 "jobs": jobs,
                 "specs": list(specs),
+                "checkpoint_interval": checkpoint_interval,
             },
             critical=True,
         )
@@ -299,6 +307,37 @@ class RunJournal:
             critical=True,
         )
 
+    def cell_checkpoint(
+        self,
+        experiment: str,
+        key: str,
+        events: int,
+        sim_time: float,
+        digest: str,
+        sim_index: int = 0,
+    ) -> None:
+        """A mid-cell state checkpoint (see :mod:`repro.sim.checkpoint`).
+
+        Recorded at periodic event boundaries while a cell simulates, so
+        a resumed run can replay the cell and *verify* it passes through
+        the identical states instead of trusting determinism blindly.
+        ``sim_index`` distinguishes systems when one cell builds several.
+        Critical (fsynced): a checkpoint only has value if it survives
+        the crash it is meant to cover.
+        """
+        self._append(
+            {
+                "t": "checkpoint",
+                "experiment": experiment,
+                "key": key,
+                "sim": sim_index,
+                "events": events,
+                "sim_time": sim_time,
+                "digest": digest,
+            },
+            critical=True,
+        )
+
     def note(self, name: str, **fields: Any) -> None:
         """A run-level supervision event (``worker_died``, ``pool_rebuild``,
         ``degraded_serial``, ``signal``, ``resume`` …)."""
@@ -346,6 +385,10 @@ class CellRecord:
     source: Optional[str] = None
     #: Full transition history: (state, attempt) pairs in journal order.
     transitions: List[Tuple[str, int]] = field(default_factory=list)
+    #: Mid-cell checkpoint records (``{"sim", "events", "sim_time",
+    #: "digest"}``), in journal order.  A resumed run replays the cell
+    #: with these as expected digests.
+    checkpoints: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -362,6 +405,9 @@ class RunState:
     scale: Dict[str, Any] = field(default_factory=dict)
     jobs: int = 1
     specs: List[str] = field(default_factory=list)
+    #: ``--checkpoint-interval`` of the original run (None = disabled);
+    #: resume reuses it so replayed cells hit the recorded boundaries.
+    checkpoint_interval: Optional[int] = None
     #: experiment -> {cell key -> record}, keys in declaration order.
     cells: Dict[str, Dict[str, CellRecord]] = field(default_factory=dict)
     #: experiment -> source fingerprint at record time.
@@ -442,6 +488,10 @@ def load_state(run_dir: Path) -> RunState:
                 state.scale = record.get("scale", {})
                 state.jobs = record.get("jobs", 1)
                 state.specs = list(record.get("specs", []))
+                interval = record.get("checkpoint_interval")
+                state.checkpoint_interval = (
+                    int(interval) if interval is not None else None
+                )
             elif kind == "cells":
                 experiment = record["experiment"]
                 state.fingerprints[experiment] = record.get("fingerprint", "")
@@ -479,6 +529,21 @@ def load_state(run_dir: Path) -> RunState:
                         else None,
                     )
                     cell.kind = record.get("kind", cell_state)
+            elif kind == "checkpoint":
+                table = state.cells.setdefault(record["experiment"], {})
+                cell = table.get(record["key"])
+                if cell is None:
+                    cell = table[record["key"]] = CellRecord(
+                        key=record["key"], params={}
+                    )
+                cell.checkpoints.append(
+                    {
+                        "sim": int(record.get("sim", 0)),
+                        "events": int(record["events"]),
+                        "sim_time": float(record["sim_time"]),
+                        "digest": str(record["digest"]),
+                    }
+                )
             elif kind == "note":
                 state.notes.append(record)
                 if record.get("name") == "resume":
@@ -505,6 +570,66 @@ def list_runs(root: Optional[Path] = None) -> List[RunState]:
             except (OSError, ValueError):
                 continue
     return states
+
+
+def _tree_size(directory: Path) -> int:
+    total = 0
+    for path in directory.rglob("*"):
+        if path.is_file():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+    return total
+
+
+def prune_runs(max_bytes: int, root: Optional[Path] = None) -> int:
+    """Evict the oldest *finished* run directories until the runs tree
+    fits ``max_bytes``.  Returns the number of directories removed.
+
+    Only terminally finished runs (``complete``/``failed``) and
+    directories with no readable journal are candidates; suspended and
+    in-flight runs are resumable state and are never pruned.  Eviction
+    order is journal mtime, oldest first.
+    """
+    import shutil
+
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+    base = Path(root) if root is not None else default_runs_dir()
+    if not base.is_dir():
+        return 0
+    entries = []
+    total = 0
+    for directory in base.iterdir():
+        if not directory.is_dir():
+            continue
+        size = _tree_size(directory)
+        total += size
+        try:
+            state = load_state(directory)
+            prunable = state.end_state in (RUN_COMPLETE, RUN_FAILED)
+        except (OSError, ValueError):
+            prunable = True
+        try:
+            mtime = (directory / JOURNAL_NAME).stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        entries.append((mtime, size, directory, prunable))
+    entries.sort(key=lambda item: (item[0], str(item[2])))
+    removed = 0
+    for mtime, size, directory, prunable in entries:
+        if total <= max_bytes:
+            break
+        if not prunable:
+            continue
+        try:
+            shutil.rmtree(directory)
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return removed
 
 
 # ----------------------------------------------------------------------

@@ -21,17 +21,30 @@ play, and every cell drains in-flight work and passes the PR 2 invariant
 checker — each policy is exercised against the frame-conservation net,
 not just timed.  ``osdp``/``swdp`` rows carry ``prefetcher="-"`` (no SMU
 readahead block on those paths).
+
+The grid declares shared-warmup structure (:class:`~repro.experiments.
+registry.WarmupSpec`): every cell of one ``(path, pattern)`` group shares
+an identical warm phase — build the machine under the *default* config
+(clock reclaim, inert readahead), prewarm the hot set, and run a full
+policy-neutral warm pass of the workload.  Cells then diverge by swapping
+in their reclaim policy (:func:`repro.os.reclaim.swap_reclaim_policy`,
+canonical ascending-PFN migration) and installing their prefetcher, and
+run the measured phase.  The engine simulates each group's warmup once
+and forks the cells from it; ``cell_fn`` is literally
+``finish(prefix(group))``, so cold execution is byte-identical.
+Per-cell tallies (``reclaimed``, ``device_reads``, prefetch counters)
+cover the measured phase only.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.config import PagingMode
-from repro.core.prefetcher import prefetcher_names
+from repro.core.prefetcher import create_prefetcher, prefetcher_names
 from repro.core.system import build_system
-from repro.experiments.registry import Cell, ExperimentSpec, register
+from repro.experiments.registry import Cell, ExperimentSpec, WarmupSpec, register
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentScale,
@@ -41,7 +54,7 @@ from repro.experiments.runner import (
     zipfian_hot_pages,
 )
 from repro.faults import assert_invariants
-from repro.os.reclaim import reclaim_policy_names
+from repro.os.reclaim import reclaim_policy_names, swap_reclaim_policy
 from repro.workloads.mixed import PATTERNS, PolicyMixWorkload
 
 #: SMU readahead degree used by the hwdp prefetcher cells.
@@ -81,37 +94,64 @@ def _zoo_cells(scale: ExperimentScale) -> List[Cell]:
     return cells
 
 
-def _zoo_cell(scale: ExperimentScale, params: Dict) -> Dict:
+def _zoo_group(params: Dict) -> Dict:
+    """Warmup-group key: cells sharing (path, pattern) share a warm phase."""
+    return {"path": params["path"], "pattern": params["pattern"]}
+
+
+def _zoo_prefix(scale: ExperimentScale, group: Dict) -> Dict[str, Any]:
+    """Shared warm phase of one (path, pattern) group.
+
+    Builds the machine under the *default* policy config (clock reclaim,
+    readahead degree 0 — inert), prewarms the hot set, and runs a full
+    policy-neutral warm pass of the workload with the kernel daemons left
+    running.  Everything a cell does differently happens after this point,
+    in :func:`_zoo_finish`.
+    """
     zoo = _zoo_scale(scale)
-    config = experiment_config(_MODES[params["path"]], zoo)
-    config = replace(
-        config,
-        control_plane=replace(config.control_plane, reclaim_policy=params["policy"]),
-    )
-    if params["prefetcher"] != "-":
-        config = replace(
-            config,
-            smu=replace(
-                config.smu,
-                prefetcher=params["prefetcher"],
-                readahead_degree=_READAHEAD_DEGREE,
-            ),
-        )
+    config = experiment_config(_MODES[group["path"]], zoo)
     system = build_system(config)
     dataset_pages = zoo.memory_frames * 2
     driver = PolicyMixWorkload(
-        pattern=params["pattern"],
+        pattern=group["pattern"],
         ops_per_thread=scale.ops_per_thread * 2,
         file_pages=dataset_pages,
+        # A couple of full rotations of each thread's slice: the measured
+        # phase must start from churned steady state, not from the
+        # prewarm's synthetic fill order.
+        warmup_ops_per_thread=scale.ops_per_thread * 4,
     )
     driver.prepare(system, _THREADS)
     # Fill memory up front (hot pages last for zipf, slice heads for the
     # scan) so eviction decisions — not cold-start fills — dominate.
-    if params["pattern"] == "zipf-scan":
+    if group["pattern"] == "zipf-scan":
         warm = zipfian_hot_pages(dataset_pages, usable_data_frames(system))
     else:
         warm = list(range(usable_data_frames(system)))
     prewarm_pages(system, driver.threads[0], driver.vma, warm)
+    system.run(driver.launch_warmup(system), stop_daemons=False)
+    # Settle in-flight daemon work so the forked cells all start from a
+    # quiescent machine.
+    system.sim.run(until=system.sim.now + 2_000_000.0)
+    return {"system": system, "driver": driver}
+
+
+def _zoo_finish(scale: ExperimentScale, params: Dict, ctx: Dict[str, Any]) -> Dict:
+    """Per-cell divergence + measured phase on a warmed machine.
+
+    The cell's reclaim policy replaces the warm phase's clock (canonical
+    ascending-PFN handoff, fresh counters) and its prefetcher replaces the
+    inert default, so ``reclaimed``/``device_reads``/prefetch tallies cover
+    exactly the measured phase.
+    """
+    system = ctx["system"]
+    driver = ctx["driver"]
+    policy = swap_reclaim_policy(system.kernel, params["policy"])
+    if params["prefetcher"] != "-":
+        system.smu.readahead = create_prefetcher(
+            params["prefetcher"], system.smu, _READAHEAD_DEGREE
+        )
+    base_reads = system.device.reads_completed
     start = system.sim.now
     system.run(driver.launch(system))
     elapsed = system.sim.now - start
@@ -119,7 +159,6 @@ def _zoo_cell(scale: ExperimentScale, params: Dict) -> Dict:
     # frame-conservation invariants — the zoo doubles as a correctness rig.
     system.sim.run(until=system.sim.now + 2_000_000.0)
     assert_invariants(system)
-    kernel = system.kernel
     smu_stats = system.smu.readahead.stats if system.smu is not None else None
     return {
         "path": params["path"],
@@ -129,11 +168,17 @@ def _zoo_cell(scale: ExperimentScale, params: Dict) -> Dict:
         "mean_latency_us": driver.op_latency.mean / 1000.0,
         "p99_latency_us": driver.op_latency.percentile(99.0) / 1000.0,
         "throughput_kops": driver.throughput_ops_per_sec(elapsed) / 1000.0,
-        "reclaimed": kernel.reclaim.reclaims,
-        "device_reads": system.device.reads_completed,
+        "reclaimed": policy.reclaims,
+        "device_reads": system.device.reads_completed - base_reads,
         "prefetches": None if smu_stats is None else smu_stats["issued"],
         "prefetch_completed": None if smu_stats is None else smu_stats["completed"],
     }
+
+
+def _zoo_cell(scale: ExperimentScale, params: Dict) -> Dict:
+    # Literally finish∘prefix∘group — the WarmupSpec contract: a cold cell
+    # and a warm-forked cell execute the exact same code.
+    return _zoo_finish(scale, params, _zoo_prefix(scale, _zoo_group(params)))
 
 
 def _zoo_merge(scale: ExperimentScale, payloads: List[Dict]) -> ExperimentResult:
@@ -187,6 +232,7 @@ ZOO_SPEC = register(
         cells=_zoo_cells,
         cell_fn=_zoo_cell,
         merge=_zoo_merge,
+        warmup=WarmupSpec(group=_zoo_group, prefix=_zoo_prefix, finish=_zoo_finish),
         aliases=("policy_zoo", "zoo"),
         group="ablations",
         # 50 small cells; each well under a typical quick-scale cell.

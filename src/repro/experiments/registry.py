@@ -51,6 +51,40 @@ class Cell:
 
 
 @dataclass(frozen=True)
+class WarmupSpec:
+    """Declared shared-warmup structure of an experiment's cell grid.
+
+    Many grids re-simulate an identical warmup phase per cell before
+    their parameters ever diverge.  A warmup-aware spec factors its
+    ``cell_fn`` into three pure pieces:
+
+    * ``group(params) -> Params`` — the *warmup prefix key*: the subset
+      of a cell's params the warmup phase depends on.  Cells with equal
+      group params share one prefix.
+    * ``prefix(scale, group_params) -> ctx`` — build the system and
+      simulate the shared warmup once; returns a live context (must be a
+      mapping with a ``"system"`` entry so the engine can digest it into
+      a prefix artifact).
+    * ``finish(scale, params, ctx) -> payload`` — diverge: apply the
+      cell's remaining params to the warmed-up context and run the
+      measured phase.
+
+    The contract that keeps warm-start byte-identical to cold execution:
+    ``cell_fn(scale, params)`` must equal
+    ``finish(scale, params, prefix(scale, group(params)))`` — the spec's
+    ``cell_fn`` should literally be that composition, so cold paths
+    (supervised pools, ``--no-warm-start``) and the forking warm-start
+    executor in :mod:`repro.experiments.engine` run the same code.
+    ``finish`` runs in a forked child per cell, so its mutations of
+    ``ctx`` never leak between cells.
+    """
+
+    group: Callable[[Params], Params]
+    prefix: Callable[[ExperimentScale, Params], Any]
+    finish: Callable[[ExperimentScale, Params, Any], Params]
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """A figure/table experiment, declared as cells + merge."""
 
@@ -73,6 +107,10 @@ class ExperimentSpec:
     #: quick-scale cell).  The supervisor scales its per-cell timeout by
     #: this, so one ``--timeout`` budget fits light and heavy grids alike.
     cost_hint: float = 1.0
+    #: Declared shared-warmup structure (None = every cell is cold).
+    #: See :class:`WarmupSpec`; the engine's serial path exploits it by
+    #: simulating each warmup prefix once and forking cells from it.
+    warmup: "WarmupSpec | None" = None
 
 
 _SPECS: Dict[str, ExperimentSpec] = {}

@@ -27,11 +27,15 @@ from repro.storage.nvme import Namespace
 
 @dataclass
 class File:
-    """One file: a name, a size in pages, and a per-page LBA map."""
+    """One file: a name, an inode number, a size in pages, a per-page LBA map."""
 
     name: str
     num_pages: int
     nsid: int
+    #: Inode number, assigned sequentially by the creating filesystem.
+    #: The page cache keys on it: unlike ``id()``, it is identical across
+    #: processes, which checkpoint state digests depend on.
+    ino: int = 0
     #: LBA of each file page (page-granular extents; initially contiguous).
     page_lbas: List[int] = field(default_factory=list)
     #: Set when the file is mapped with the fast-mmap flag (§IV-B) so block
@@ -79,6 +83,7 @@ class FileSystem:
         self.namespace = namespace
         self.files: Dict[str, File] = {}
         self._remap_hooks: List[RemapHook] = []
+        self._next_ino = 1
 
     # ------------------------------------------------------------------
     def create_file(self, name: str, num_pages: int) -> File:
@@ -92,8 +97,10 @@ class FileSystem:
             name=name,
             num_pages=num_pages,
             nsid=self.namespace.nsid,
+            ino=self._next_ino,
             page_lbas=[first_lba + i * BLOCKS_PER_PAGE for i in range(num_pages)],
         )
+        self._next_ino += 1
         self.files[name] = file
         return file
 

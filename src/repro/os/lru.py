@@ -92,6 +92,9 @@ class LruLists(ReclaimPolicy):
     def get(self, pfn: int) -> Optional[PageInfo]:
         return self._inactive.get(pfn) or self._active.get(pfn)
 
+    def tracked_pfns(self) -> List[int]:
+        return sorted(list(self._inactive) + list(self._active))
+
     # ------------------------------------------------------------------
     def insert(self, page: PageInfo) -> None:
         """New resident page enters the inactive tail."""

@@ -24,7 +24,9 @@ class PageCache:
 
     @staticmethod
     def _key(file: File, page_index: int) -> Tuple[int, int]:
-        return (id(file), page_index)  # repro: allow[REP005] reason=identity key only, never ordered or exposed in results
+        # Inode numbers are per-filesystem sequential and identical across
+        # processes; id() here would poison cross-process checkpoint digests.
+        return (file.ino, page_index)
 
     def lookup(self, file: File, page_index: int) -> Optional[int]:
         """Return the cached PFN for a file page, or None."""

@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Optional
 
 from repro.os.vma import AddressSpaceLayout, Vma
 from repro.vm.page_table import PageTable
 from repro.vm.pte import PteStatus, pte_status, revert_to_normal
 
-_pid_counter = itertools.count(1)
+
+def _allocate_pid(kernel: Any) -> int:
+    """Next PID from the *kernel's* counter (not a module global).
+
+    PIDs seed ASIDs, and ASIDs place page-table pages in the simulated
+    address map — a process-wide counter would make a cell's state (and
+    its checkpoint digest) depend on which cells ran before it in the
+    same host process.
+    """
+    pid = getattr(kernel, "_next_pid", 1)
+    kernel._next_pid = pid + 1
+    return pid
 
 
 class ProcessContext:
@@ -17,7 +27,7 @@ class ProcessContext:
 
     def __init__(self, kernel: Any, name: str = "proc", parent: Optional["ProcessContext"] = None):
         self.kernel = kernel
-        self.pid = next(_pid_counter)
+        self.pid = _allocate_pid(kernel)
         self.name = name
         self.parent = parent
         self.page_table = PageTable(asid=self.pid)

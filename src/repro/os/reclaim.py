@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import KernelError
 
@@ -91,6 +91,18 @@ class ReclaimPolicy(abc.ABC):
 
     @abc.abstractmethod
     def get(self, pfn: int) -> Optional["PageInfo"]: ...
+
+    def tracked_pfns(self) -> List[int]:
+        """Every tracked PFN in ascending order.
+
+        The canonical enumeration :func:`swap_reclaim_policy` migrates
+        pages in — ascending PFN, independent of any policy's internal
+        ordering, so a mid-run policy swap lands in identical state no
+        matter which policy had been driving.
+        """
+        raise KernelError(
+            f"reclaim policy {self.policy_name!r} does not enumerate its pages"
+        )
 
     @property
     def inactive_count(self) -> int:
@@ -145,6 +157,32 @@ def _ensure_builtin_policies() -> None:
     from repro.os import lru  # noqa: F401
 
 
+def swap_reclaim_policy(kernel: Any, name: str) -> ReclaimPolicy:
+    """Replace the kernel's live reclaim policy mid-run.
+
+    Builds a fresh policy and re-inserts every resident page in ascending
+    PFN order — a canonical handoff independent of the outgoing policy's
+    internal ordering, so two runs that arrive here with identical
+    resident state leave with identical policy state regardless of which
+    policy (or process) drove the warmup.  The incoming policy always
+    starts with zeroed ``insertions``/``reclaims`` counters, even when
+    ``name`` matches the outgoing policy, so post-swap tallies cover
+    exactly the post-swap phase.
+
+    This is the divergence point of warm-started experiment cells: one
+    shared warmup runs under the default policy, then each forked cell
+    swaps in the policy it measures.
+    """
+    old = kernel.reclaim
+    new = create_reclaim_policy(name)
+    for pfn in old.tracked_pfns():
+        page = old.get(pfn)
+        if page is not None:
+            new.insert(page)
+    kernel.reclaim = new
+    return new
+
+
 # ----------------------------------------------------------------------
 # shared scaffolding for single-list policies
 # ----------------------------------------------------------------------
@@ -163,6 +201,9 @@ class _SingleListPolicy(ReclaimPolicy):
 
     def get(self, pfn: int) -> Optional["PageInfo"]:
         return self._pages.get(pfn)
+
+    def tracked_pfns(self) -> List[int]:
+        return sorted(self._pages)
 
     def _check_new(self, page: "PageInfo") -> None:
         if self.contains(page.pfn):
@@ -322,6 +363,9 @@ class Arc(ReclaimPolicy):
 
     def get(self, pfn: int) -> Optional["PageInfo"]:
         return self._t1.get(pfn) or self._t2.get(pfn)
+
+    def tracked_pfns(self) -> List[int]:
+        return sorted(list(self._t1) + list(self._t2))
 
     @property
     def inactive_count(self) -> int:

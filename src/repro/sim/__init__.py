@@ -6,6 +6,13 @@ Exports the engine (:class:`Simulator`), coroutine-process layer
 recorders.
 """
 
+from repro.sim.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointObserver,
+    capture_state,
+    state_digest,
+)
 from repro.sim.engine import MS, NS, SEC, US, ScheduledEvent, Simulator
 from repro.sim.process import (
     Completion,
@@ -44,4 +51,9 @@ __all__ = [
     "RngStreams",
     "StatAccumulator",
     "Counter",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointObserver",
+    "capture_state",
+    "state_digest",
 ]

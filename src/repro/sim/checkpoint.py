@@ -1,0 +1,444 @@
+"""Deterministic checkpoint/restore for the DES core.
+
+The model's simulation state is a live Python object graph: coroutine
+processes are *generator frames*, calendar-queue entries hold bound-method
+callbacks into that graph, and the RNG streams are C-side bit-generator
+state.  Generator frames cannot be serialised, so a checkpoint here is not
+a pickle — it is a **replay recipe plus a cryptographic commitment**:
+
+``capture_state(root)``
+    walks the object graph into a canonical, JSON-safe structure —
+    primitives verbatim, dicts in insertion order (LRU/OrderedDict order
+    is semantic state), object fields by sorted name, numpy generators as
+    their bit-generator state, generator frames as (code name, current
+    line, last instruction, locals), callbacks as qualified names with
+    identity-preserving back-references, and cycles broken by a
+    deterministic visit-order memo.
+
+``state_digest(root)``
+    SHA-256 over the canonical JSON of that capture.  Two runs are at the
+    same event boundary with byte-identical simulation state iff their
+    digests match.
+
+``Checkpoint`` / ``restore``
+    a versioned, content-hashed artifact recording *how to rebuild* the
+    run (the recipe), *how far to replay it* (the event count), and *what
+    the state must hash to* when it gets there (the digest).  ``restore``
+    rebuilds from the recipe, replays exactly ``events`` events, and
+    verifies the digest — so a restored simulation is byte-identical to
+    an uninterrupted one **by construction and by proof**, not by hope.
+    Replay from a deterministic engine costs wall-time but never
+    correctness; the shared-warmup executor in
+    :mod:`repro.experiments.engine` removes the wall-time cost for grids
+    by forking cells from a live warmed-up process instead.
+
+``CheckpointObserver``
+    an engine observer (see :meth:`repro.sim.engine.Simulator.attach`)
+    that computes digests at periodic event boundaries while a run
+    proceeds — the mechanism behind ``--checkpoint-interval`` journal
+    records and mid-cell resume verification.  Attaching it does not
+    perturb dispatch order (observers only hook dispatch).
+
+Digests are comparable only between runs with the same observer
+complement attached (the engine snapshot includes attached-observer
+bookkeeping by class name).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import types
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Version of the checkpoint artifact layout.  Bump on any change to the
+#: capture encoding — digests are only comparable within one schema.
+CHECKPOINT_SCHEMA = 1
+
+#: Recursion headroom for deep object graphs (page-table radix levels,
+#: chained generator frames).  Applied only for the duration of a capture.
+_CAPTURE_RECURSION_LIMIT = 20_000
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint could not be taken, loaded, or verified."""
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical wire form: minimal separators, order as captured."""
+    return json.dumps(value, separators=(",", ":"), sort_keys=False)
+
+
+class _Capture:
+    """One deterministic walk over a simulation object graph.
+
+    Identity-bearing objects (dicts, lists, sets, instances, generator
+    frames) are memoised by visit order; a revisit emits ``{"ref": n}``
+    where ``n`` is the first-visit index.  Visit order is the traversal
+    order, which is itself deterministic for identical runs, so the memo
+    indices — and therefore cycles and shared references — hash stably.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Dict[int, int] = {}
+        self._serial = 0
+        # Pin every memoised object for the walk's duration so CPython
+        # cannot recycle an id() into a false "ref" hit.
+        self._pins: List[Any] = []
+
+    # ------------------------------------------------------------------
+    def _remember(self, obj: Any) -> Optional[Dict[str, int]]:
+        key = id(obj)  # repro: allow[REP005] reason=memo maps ids to deterministic visit-order indices; nothing orders or hashes on the address itself
+        seen = self._memo.get(key)
+        if seen is not None:
+            return {"ref": seen}
+        self._memo[key] = self._serial
+        self._serial += 1
+        self._pins.append(obj)
+        return None
+
+    def walk(self, obj: Any) -> Any:
+        if obj is None or obj is True or obj is False:
+            return obj
+        cls = obj.__class__
+        if cls is int or cls is str:
+            return obj
+        if cls is float:
+            return obj
+        if cls is bytes:
+            return {"b": obj.hex()}
+        if cls is tuple:
+            return {"t": [self.walk(item) for item in obj]}
+        if cls is list:
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            return {"l": [self.walk(item) for item in obj]}
+        if cls is dict:
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            # Insertion order is preserved deliberately: for OrderedDict
+            # LRU structures and calendar buckets the order *is* state.
+            return {"d": [[self.walk(k), self.walk(v)] for k, v in obj.items()]}
+        if cls is set or cls is frozenset:
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            return {"s": self._walk_set(obj)}
+        if isinstance(obj, np.random.Generator):
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            return {"rng": self.walk(obj.bit_generator.state)}
+        if isinstance(obj, np.random.BitGenerator):
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            return {"rng": self.walk(obj.state)}
+        if isinstance(obj, np.ndarray):
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            return {"nd": [str(obj.dtype), list(obj.shape), obj.tolist()]}
+        if isinstance(obj, np.generic):
+            return {"np": [str(obj.dtype), obj.item()]}
+        if isinstance(obj, types.GeneratorType):
+            return self._walk_generator(obj)
+        if isinstance(obj, types.MethodType):
+            return {"m": obj.__func__.__qualname__, "self": self.walk(obj.__self__)}
+        if isinstance(obj, (types.FunctionType, types.BuiltinFunctionType)):
+            return {"fn": getattr(obj, "__qualname__", obj.__name__)}
+        if isinstance(obj, type):
+            return {"cls": obj.__qualname__}
+        if isinstance(obj, types.ModuleType):
+            return {"mod": obj.__name__}
+        # Late import: sim.engine must stay importable without this module.
+        from repro.sim.engine import Simulator
+
+        if isinstance(obj, Simulator):
+            ref = self._remember(obj)
+            if ref is not None:
+                return ref
+            return {"sim": self.walk(obj.snapshot())}
+        return self._walk_instance(obj)
+
+    # ------------------------------------------------------------------
+    def _walk_set(self, obj: Any) -> List[Any]:
+        # Set iteration order for strings depends on the per-process hash
+        # seed, so elements are ordered by a value-based key instead.
+        # Non-atom members (none exist in simulated state today) degrade
+        # to their class names — loud enough to catch drift in tests
+        # without making the digest process-dependent.
+        atoms: List[Any] = []
+        opaque: List[str] = []
+        for item in obj:
+            if item is None or isinstance(item, (bool, int, float, str, bytes)):
+                atoms.append(item)
+            else:
+                opaque.append(item.__class__.__qualname__)
+        atoms.sort(key=lambda item: (item.__class__.__name__, repr(item)))
+        return [[self.walk(item) for item in atoms], sorted(opaque)]
+
+    def _walk_generator(self, obj: types.GeneratorType) -> Any:
+        ref = self._remember(obj)
+        if ref is not None:
+            return ref
+        frame = obj.gi_frame
+        name = obj.gi_code.co_name
+        if frame is None:
+            return {"gen": name, "done": True}
+        return {
+            "gen": name,
+            "line": frame.f_lineno,
+            "lasti": frame.f_lasti,
+            "locals": self.walk(dict(frame.f_locals)),
+        }
+
+    def _walk_instance(self, obj: Any) -> Any:
+        ref = self._remember(obj)
+        if ref is not None:
+            return ref
+        names: List[str] = []
+        values: Dict[str, Any] = {}
+        instance_dict = getattr(obj, "__dict__", None)
+        if isinstance(instance_dict, dict):
+            for name, value in instance_dict.items():
+                names.append(name)
+                values[name] = value
+        for klass in type(obj).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot in ("__dict__", "__weakref__") or slot in values:
+                    continue
+                try:
+                    values[slot] = getattr(obj, slot)
+                except AttributeError:
+                    continue
+                names.append(slot)
+        if not names:
+            # C-level objects with no introspectable state (file handles,
+            # locks).  Their identity still participates in the memo.
+            return {"opaque": obj.__class__.__qualname__}
+        # Field *order* is not semantic state (unlike dict entry order),
+        # so sort by name for a stable encoding.
+        return {
+            "o": obj.__class__.__qualname__,
+            "f": [[name, self.walk(values[name])] for name in sorted(names)],
+        }
+
+
+def capture_state(root: Any) -> Any:
+    """Capture the object graph under ``root`` into canonical JSON-safe form."""
+    limit = sys.getrecursionlimit()
+    if limit < _CAPTURE_RECURSION_LIMIT:
+        sys.setrecursionlimit(_CAPTURE_RECURSION_LIMIT)
+    try:
+        return _Capture().walk(root)
+    finally:
+        if limit < _CAPTURE_RECURSION_LIMIT:
+            sys.setrecursionlimit(limit)
+
+
+def state_digest(root: Any) -> str:
+    """SHA-256 digest of the canonical capture of ``root``."""
+    text = canonical_json(capture_state(root))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# checkpoint artifacts
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """A versioned, content-hashed replay checkpoint.
+
+    ``recipe`` is whatever the rebuild side needs to reconstruct the run
+    from scratch (experiment name, scale, params, or a warmup group key);
+    ``events`` is the boundary (total events dispatched); ``digest`` is
+    the state commitment the replay must reproduce at that boundary.
+
+    ``boundary`` records where the digest was taken:
+
+    * ``"dispatch"`` — inside the dispatch hook of event ``events`` (by
+      :class:`CheckpointObserver`).  Restorable: a replay reaches the
+      identical program point through the same hook.
+    * ``"quiescent"`` — outside any run (e.g. a warmup prefix snapshot
+      after its drain).  Comparable only against digests taken at the
+      same program point of another run; :func:`restore` rejects these
+      because a raw event-count replay cannot reproduce out-of-band
+      orchestration (clock forcing by ``run(until=...)``, daemon stops)
+      between run calls.
+    """
+
+    recipe: Dict[str, Any]
+    events: int
+    sim_time: float
+    digest: str
+    boundary: str = "dispatch"
+    schema: int = CHECKPOINT_SCHEMA
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "boundary": self.boundary,
+            "recipe": self.recipe,
+            "events": self.events,
+            "sim_time": self.sim_time,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Checkpoint":
+        if data.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint schema {data.get('schema')!r} is not {CHECKPOINT_SCHEMA}"
+            )
+        return cls(
+            recipe=data["recipe"],
+            events=int(data["events"]),
+            sim_time=float(data["sim_time"]),
+            digest=str(data["digest"]),
+            boundary=str(data.get("boundary", "dispatch")),
+        )
+
+    def content_key(self) -> str:
+        """Content hash over the artifact body — the artifact's identity."""
+        return hashlib.sha256(
+            canonical_json(self.to_json()).encode("utf-8")
+        ).hexdigest()[:40]
+
+
+def snapshot_system(system: Any, recipe: Dict[str, Any]) -> Checkpoint:
+    """Take a quiescent checkpoint of ``system`` (outside any run)."""
+    sim = system.sim
+    return Checkpoint(
+        recipe=dict(recipe),
+        events=sim.events_dispatched,
+        sim_time=sim.now,
+        digest=state_digest(system),
+        boundary="quiescent",
+    )
+
+
+def save_checkpoint(checkpoint: Checkpoint, directory: Path) -> Path:
+    """Write ``checkpoint`` to ``directory`` under its content hash."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"checkpoint-{checkpoint.content_key()}.json"
+    path.write_text(canonical_json(checkpoint.to_json()) + "\n", encoding="utf-8")
+    return path
+
+
+def load_checkpoint(path: Path) -> Checkpoint:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot load checkpoint {path}: {exc}") from exc
+    return Checkpoint.from_json(data)
+
+
+def restore(checkpoint: Checkpoint, rebuild: Callable[[Dict[str, Any]], Any]) -> Any:
+    """Reconstruct the simulation at the checkpoint's event boundary.
+
+    ``rebuild(recipe)`` must return a freshly built system (any object
+    with a ``sim`` attribute) with its workload prepared and scheduled,
+    exactly as the original run was before its first event.  The engine
+    then replays to the recorded event count; the state digest is
+    recomputed *inside the dispatch hook of the boundary event* — the
+    identical program point the original digest was taken at — and
+    verified against the checkpoint.  A mismatch means the source
+    drifted or the run is nondeterministic, and raises instead of
+    silently continuing from the wrong state.
+
+    Returns the system with the boundary event executed, ready to run to
+    completion; determinism makes the continuation byte-identical to an
+    uninterrupted run, and the digest match *proves* the replay reached
+    the same state.
+    """
+    if checkpoint.boundary != "dispatch":
+        raise CheckpointError(
+            f"cannot replay a {checkpoint.boundary!r}-boundary checkpoint; "
+            "only dispatch-boundary checkpoints are restorable"
+        )
+    system = rebuild(checkpoint.recipe)
+    sim = system.sim
+    remaining = checkpoint.events - sim.events_dispatched
+    if remaining <= 0:
+        raise CheckpointError(
+            f"rebuild already at or past the boundary ({sim.events_dispatched} "
+            f"of {checkpoint.events} events)"
+        )
+    observer = CheckpointObserver(
+        system,
+        interval=checkpoint.events,
+        expect={checkpoint.events: checkpoint.digest},
+    )
+    sim.attach(observer)
+    try:
+        sim.run(max_events=remaining)
+    finally:
+        sim.detach(observer)
+    if observer.verified != 1:
+        raise CheckpointError(
+            f"replay drained at {sim.events_dispatched} events before the "
+            f"checkpoint boundary {checkpoint.events}"
+        )
+    return system
+
+
+# ----------------------------------------------------------------------
+# periodic boundary digests
+# ----------------------------------------------------------------------
+class CheckpointObserver:
+    """Engine observer computing state digests at periodic event boundaries.
+
+    ``on_dispatch`` fires with ``events_dispatched`` already counting the
+    event about to execute, so a digest taken when the counter is a
+    multiple of ``interval`` commits to the boundary *after* the previous
+    event and *before* this one — the same point :func:`restore` replays
+    to.  When ``expect`` maps event counts to digests (from journal
+    checkpoint records), each recomputed digest is verified against the
+    recorded one and a mismatch raises :class:`CheckpointError`.
+    """
+
+    def __init__(
+        self,
+        system: Any,
+        interval: int,
+        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
+        expect: Optional[Dict[int, str]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise CheckpointError(f"checkpoint interval must be positive, got {interval}")
+        self.system = system
+        self.interval = int(interval)
+        self.records: List[Dict[str, Any]] = []
+        self.verified = 0
+        self._on_checkpoint = on_checkpoint
+        self._expect = dict(expect) if expect else {}
+
+    def on_dispatch(self, time: float, chain: int) -> None:
+        sim = self.system.sim
+        events = sim.events_dispatched
+        if events % self.interval:
+            return
+        digest = state_digest(self.system)
+        record = {"events": events, "sim_time": sim.now, "digest": digest}
+        self.records.append(record)
+        expected = self._expect.get(events)
+        if expected is not None:
+            if digest != expected:
+                raise CheckpointError(
+                    f"resumed run diverged at event {events}: recorded digest "
+                    f"{expected[:16]}…, replay produced {digest[:16]}…"
+                )
+            self.verified += 1
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(record)

@@ -13,9 +13,16 @@ Sampling is *batched*: every generator owns its numpy bit stream
 exclusively, and numpy's vectorized ``random(n)`` / ``integers(lo, hi, n)``
 consume the stream exactly like ``n`` scalar calls, so drawing a buffer
 ahead of time returns bit-identical values in the identical order — only
-the per-call overhead is amortised.  The one transform kept scalar is
-Gray's rank formula: ``np.power`` rounds differently from Python's ``**``
-in the last ULP, which would move keys across rank boundaries.
+the per-call overhead is amortised.  Gray's rank formula — the one
+transform that long stayed scalar because ``np.power`` rounds differently
+from Python's ``**`` in the last ULP — is vectorized through a
+*precomputed boundary table*: ``_rank_boundaries()[k]`` is the smallest
+float64 ``u`` the scalar transform maps to rank ``>= k`` (each entry
+located with the scalar transform itself as the oracle, so the last-ULP
+question never arises), and ``draw(n)`` is then a single
+``np.searchsorted`` — comparisons only, no floating transform at sample
+time.  Populations where the table cannot be certified (or is too large
+to be worth building) silently keep the scalar loop.
 
 Each generator exposes ``next()`` (one sample) and ``draw(n)`` (a
 vectorized batch); the two can be interleaved freely on one generator.
@@ -37,6 +44,16 @@ _FNV_PRIME = 0x100000001B3
 
 #: Underlying samples drawn per buffered refill.
 _BATCH = 512
+
+#: Largest population for which ``ZipfianGenerator.draw`` builds its rank
+#: boundary table; bigger populations keep the scalar transform (an
+#: O(item_count) one-time build stops paying for itself).
+_TABLE_MAX_ITEMS = 1 << 18
+
+#: Boundary tables shared by every generator over the same population —
+#: pure functions of ``(item_count, theta)``.  ``None`` records a failed
+#: build so it is not retried.
+_boundary_tables: dict = {}
 
 
 def fnv1a_64(value: int) -> int:
@@ -165,6 +182,7 @@ class ZipfianGenerator:
             for rank in range(item_count):
                 acc += (1.0 / ((rank + 1) ** theta)) / self.zeta_n
                 self._cdf.append(acc)
+            self._cdf_array = np.array(self._cdf)
         else:
             self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
                 1 - self.zeta_2 / self.zeta_n
@@ -194,11 +212,98 @@ class ZipfianGenerator:
     def next(self) -> int:
         return self._rank(float(self._source.next()))
 
+    # -- vectorized transform -----------------------------------------
+    def _boundary_guess(self, k: int) -> float:
+        """Analytic inverse of ``_rank(u) == k`` (a few ULPs off at most)."""
+        if k == 1:
+            return 1.0 / self.zeta_n
+        # Invert k = n * (eta*u - eta + 1) ** alpha, floored below by the
+        # rank-1 threshold where the formula branch takes over.
+        x = (k / self.item_count) ** (1.0 - self.theta)
+        u = (x - 1.0) / self.eta + 1.0
+        return max(u, (1.0 + self._half_pow_theta) / self.zeta_n)
+
+    @staticmethod
+    def _refine_boundary(k: int, guess: float, g, steps: int = 4096):
+        """Walk ULP-by-ULP to the smallest u with ``g(u) >= k`` (or None)."""
+        u = min(max(guess, 0.0), math.nextafter(1.0, 0.0))
+        if g(u) >= k:
+            for _ in range(steps):
+                down = math.nextafter(u, -math.inf)
+                if down < 0.0 or g(down) < k:
+                    return u
+                u = down
+        else:
+            for _ in range(steps):
+                u = math.nextafter(u, math.inf)
+                if u >= 1.0:
+                    return None
+                if g(u) >= k:
+                    return u
+        return None
+
+    def _build_boundaries(self):
+        """Table B with ``B[k] = min u: _rank(u) >= k`` — or None.
+
+        Every entry is certified against the *scalar* transform (``g(B[k])
+        >= k`` and ``g(B[k] - 1ulp) < k`` by construction), and the scalar
+        transform is piecewise monotone, so
+        ``searchsorted(B, u, "right") - 1`` reproduces it exactly.  Any
+        anomaly — walk failure, unsorted entries, the formula branch
+        dipping below the threshold ranks at the branch joint — aborts to
+        the scalar path rather than risking a near-miss table.
+        """
+        g = self._rank
+        # The joint where the closed-form branch takes over from the
+        # threshold ranks: the formula must already be >= 1 there, else
+        # the transform is not monotone and no table can represent it.
+        joint = self._refine_boundary(
+            1, (1.0 + self._half_pow_theta) / self.zeta_n,
+            lambda u: 1 if u * self.zeta_n >= 1.0 + self._half_pow_theta else 0,
+        )
+        if joint is None or g(joint) < 1:
+            return None
+        top = g(math.nextafter(1.0, 0.0))
+        bounds = [0.0]
+        for k in range(1, top + 1):
+            u = self._refine_boundary(k, self._boundary_guess(k), g)
+            if u is None or u < bounds[-1]:
+                return None
+            bounds.append(u)
+        table = np.array(bounds)
+        if not np.all(np.diff(table) >= 0.0):
+            return None
+        return table
+
+    def _rank_boundaries(self):
+        key = (self.item_count, self.theta)
+        if key in _boundary_tables:
+            return _boundary_tables[key]
+        if self.item_count > _TABLE_MAX_ITEMS:
+            table = None
+        else:
+            try:
+                table = self._build_boundaries()
+            except (ValueError, TypeError, OverflowError):
+                table = None
+        if len(_boundary_tables) >= 64:
+            _boundary_tables.pop(next(iter(_boundary_tables)))
+        _boundary_tables[key] = table
+        return table
+
     def draw(self, n: int) -> np.ndarray:
-        """``n`` ranks: one vectorized uniform batch, scalar transform."""
+        """``n`` ranks: one uniform batch through the boundary table."""
         us = self._source.take(n)
-        rank = self._rank
-        return np.fromiter((rank(float(u)) for u in us), dtype=np.int64, count=n)
+        if self.eta is None:
+            # Scalar path returns the first rank with ``u < cdf[rank]``;
+            # side="right" counts the bounds <= u, which is that rank.
+            idx = np.searchsorted(self._cdf_array, us, side="right")
+            return np.minimum(idx, self.item_count - 1).astype(np.int64)
+        table = self._rank_boundaries()
+        if table is None:
+            rank = self._rank
+            return np.fromiter((rank(float(u)) for u in us), dtype=np.int64, count=n)
+        return (np.searchsorted(table, us, side="right") - 1).astype(np.int64)
 
 
 class ScrambledZipfianGenerator:

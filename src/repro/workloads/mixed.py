@@ -22,6 +22,7 @@ from typing import Any, Generator
 
 from repro.core.system import System
 from repro.cpu.thread import ThreadContext
+from repro.errors import WorkloadError
 from repro.mem.address import PAGE_SHIFT
 from repro.os.vma import MmapFlags
 from repro.workloads.base import WorkloadDriver
@@ -44,6 +45,7 @@ class PolicyMixWorkload(WorkloadDriver):
         instructions_per_op: int = FIO_INSTRUCTIONS_PER_OP,
         fastmap: bool = True,
         zipf_theta: float = 0.99,
+        warmup_ops_per_thread: int = 0,
     ):
         super().__init__()
         if pattern not in PATTERNS:
@@ -54,6 +56,9 @@ class PolicyMixWorkload(WorkloadDriver):
         self.instructions_per_op = instructions_per_op
         self.fastmap = fastmap
         self.zipf_theta = zipf_theta
+        #: Ops per thread of the optional warm phase (:meth:`launch_warmup`)
+        #: run on the same file/VMA before the measured phase.
+        self.warmup_ops_per_thread = warmup_ops_per_thread
         self.vma = None
 
     # ------------------------------------------------------------------
@@ -97,6 +102,44 @@ class PolicyMixWorkload(WorkloadDriver):
             yield base + op
         for _ in range(hot_ops - first_hot):
             yield base + zipf.next()
+
+    def _warm_pages_for(self, index: int) -> Generator[int, None, None]:
+        """The warm-phase page sequence of one thread.
+
+        Shaped like the measured pattern (same slice, same distribution)
+        but drawn from a dedicated ``policy-mix-warm-*`` RNG stream, so
+        the measured phase's sequence is identical whether or not a warm
+        phase ran before it.
+        """
+        slice_pages = max(1, self.file_pages // max(1, len(self.threads)))
+        base = index * slice_pages
+        ops = self.warmup_ops_per_thread
+        if self.pattern == "scan":
+            for op in range(ops):
+                yield base + (op % slice_pages)
+            return
+        rng = self.system.rng.stream(f"policy-mix-warm-{index}")
+        zipf = ScrambledZipfianGenerator(slice_pages, rng, self.zipf_theta)
+        for _ in range(ops):
+            yield base + zipf.next()
+
+    def _warm_body(self, thread: ThreadContext, index: int) -> Generator[Any, Any, None]:
+        # No latency stats, no note_operation: warm work must not leak
+        # into the measured phase's reported metrics.
+        for page in self._warm_pages_for(index):
+            yield from thread.mem_access(self.vma.start + (page << PAGE_SHIFT))
+            yield from thread.compute(self.instructions_per_op)
+
+    def launch_warmup(self, system: System) -> list:
+        """Spawn the warm phase (same threads, file, and VMA as the
+        measured phase).  Run it to completion — with the kernel's daemons
+        left running — before :meth:`launch`."""
+        if not self._prepared:
+            raise WorkloadError("prepare() must run before launch_warmup()")
+        return [
+            system.spawn(self._warm_body(thread, index), f"{self.name}-warm-{index}")
+            for index, thread in enumerate(self.threads)
+        ]
 
     def _thread_body(self, thread: ThreadContext, index: int) -> Generator[Any, Any, None]:
         latency = self._new_latency_stat(index)

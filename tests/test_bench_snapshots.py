@@ -22,6 +22,23 @@ SNAPSHOTS = perf.bench_files()
 
 ENTRY_KEYS = {"experiment", "scale", "cells", "sims", "events", "wall_s", "events_per_sec"}
 
+#: Schema history (see ``perf.BENCH_SCHEMA``): 1 — original layout;
+#: 2 — totals exclude zero-event analytic experiments and snapshots may
+#: carry a ``warm_start`` section of paired cold/warm grid measurements.
+KNOWN_SCHEMAS = {1, 2}
+
+WARM_START_KEYS = {
+    "experiment",
+    "scale",
+    "cells",
+    "warm_groups",
+    "warm_cells",
+    "cold_wall_s",
+    "warm_wall_s",
+    "speedup",
+    "tables_identical",
+}
+
 
 def load(path):
     with open(path) as handle:
@@ -39,7 +56,8 @@ def test_trajectory_recorded():
 @pytest.mark.parametrize("path", SNAPSHOTS, ids=lambda p: p.name)
 def test_snapshot_schema(path):
     snapshot = load(path)
-    assert snapshot["schema"] == perf.BENCH_SCHEMA
+    assert snapshot["schema"] in KNOWN_SCHEMAS
+    assert perf.BENCH_SCHEMA in KNOWN_SCHEMAS, "new schema needs a history entry here"
     assert isinstance(snapshot["label"], str) and snapshot["label"]
     assert set(snapshot["host"]) == {"python", "implementation", "machine", "system"}
     results = snapshot["results"]
@@ -64,6 +82,17 @@ def test_snapshot_schema(path):
             )
         else:
             assert not entry["events_per_sec"]
+    for warm in snapshot.get("warm_start", []):
+        assert set(warm) == WARM_START_KEYS, warm
+        assert warm["experiment"] in known
+        assert warm["tables_identical"] is True, (
+            "a warm-start speedup is only recordable for a byte-identical grid"
+        )
+        assert warm["warm_groups"] <= warm["warm_cells"] <= warm["cells"]
+        if warm["warm_wall_s"] > 0:
+            assert warm["speedup"] == pytest.approx(
+                warm["cold_wall_s"] / warm["warm_wall_s"], rel=0.01
+            )
 
 
 @pytest.mark.parametrize("path", SNAPSHOTS, ids=lambda p: p.name)
@@ -73,6 +102,32 @@ def test_snapshot_totals_consistent(path):
     totals = snapshot["totals"]
     assert totals["events"] == sum(r["events"] for r in results)
     assert totals["wall_s"] == pytest.approx(sum(r["wall_s"] for r in results), abs=0.01)
+    if snapshot["schema"] >= 2:
+        measured = [r for r in results if r["events"] > 0]
+        assert totals["measured_wall_s"] == pytest.approx(
+            sum(r["wall_s"] for r in measured), abs=0.01
+        )
+        assert totals["excluded_zero_event"] == sorted(
+            r["experiment"] for r in results if r["events"] == 0
+        )
+        if measured:
+            assert totals["events_per_sec"] == pytest.approx(
+                totals["events"] / totals["measured_wall_s"], rel=0.05
+            )
+
+
+#: Documented lineage breaks: (experiment, scale) -> the snapshot that
+#: starts a new event-count lineage.  The pluggable-reclaim refactor
+#: (between BENCH_2 and BENCH_3) rewired the kernel daemons onto the
+#: policy registry, shifting fig13's dispatched-event count by a handful
+#: of daemon events (+2 at quick, -259 of 5.3M at paper shape) while
+#: leaving its recorded tables byte-identical — the golden-table CI diff
+#: is the byte-identity authority; this test pins counts *within* a
+#: lineage.  Every entry here needs a cause recorded in this comment.
+EVENT_COUNT_RESETS = {
+    ("fig13", "quick"): "BENCH_3.json",
+    ("fig13", "paper-shape"): "BENCH_3.json",
+}
 
 
 def test_snapshots_share_event_counts():
@@ -85,6 +140,9 @@ def test_snapshots_share_event_counts():
         for entry in load(path)["results"]:
             key = (entry["experiment"], entry["scale"])
             if not entry["events"]:
+                continue
+            if EVENT_COUNT_RESETS.get(key) == path.name:
+                by_key[key] = (path.name, entry["events"])
                 continue
             recorded = by_key.setdefault(key, (path.name, entry["events"]))
             assert recorded[1] == entry["events"], (

@@ -187,3 +187,59 @@ class TestBatchedSampling:
     def test_draw_zero(self):
         generator = UniformGenerator(100, rng())
         assert len(generator.draw(0)) == 0
+
+
+class TestZipfianBoundaryTable:
+    """The vectorized rank transform is a searchsorted over a boundary
+    table certified entry-by-entry against the scalar transform; these
+    tests poke exactly where a near-miss table would differ — at the
+    boundaries themselves and their ULP neighbours."""
+
+    @pytest.mark.parametrize("n", [3, 7, 100, 1000])
+    @pytest.mark.parametrize("theta", [0.2, 0.99])
+    def test_table_matches_scalar_at_ulp_boundaries(self, n, theta):
+        import math
+
+        generator = ZipfianGenerator(n, rng(), theta)
+        table = generator._rank_boundaries()
+        assert table is not None
+        probes = []
+        for bound in table:
+            probes.extend(
+                [float(bound), math.nextafter(bound, 0.0), math.nextafter(bound, 1.0)]
+            )
+        top = math.nextafter(1.0, 0.0)
+        probes = [min(max(p, 0.0), top) for p in probes]
+        vectorized = np.searchsorted(table, np.array(probes), side="right") - 1
+        for u, got in zip(probes, vectorized):
+            assert generator._rank(u) == int(got)
+
+    def test_tiny_population_uses_cdf_path(self):
+        # item_count <= 2 degenerates Gray's closed form; the CDF branch
+        # must still match the scalar stream exactly.
+        for n in (1, 2):
+            batched = ZipfianGenerator(n, rng(9)).draw(500)
+            scalar_gen = ZipfianGenerator(n, rng(9))
+            assert [int(v) for v in batched] == [scalar_gen.next() for _ in range(500)]
+
+    def test_failed_table_falls_back_to_scalar(self, monkeypatch):
+        from repro.workloads import distributions
+
+        generator = ZipfianGenerator(500, rng(4))
+        monkeypatch.setattr(distributions, "_boundary_tables", {})
+        monkeypatch.setattr(ZipfianGenerator, "_build_boundaries", lambda self: None)
+        batched = generator.draw(1000)
+        scalar_gen = ZipfianGenerator(500, rng(4))
+        assert [int(v) for v in batched] == [scalar_gen.next() for _ in range(1000)]
+        assert distributions._boundary_tables[(500, generator.theta)] is None
+
+    def test_oversized_population_skips_table(self, monkeypatch):
+        from repro.workloads import distributions
+
+        monkeypatch.setattr(distributions, "_boundary_tables", {})
+        monkeypatch.setattr(distributions, "_TABLE_MAX_ITEMS", 100)
+        generator = ZipfianGenerator(500, rng(4))
+        batched = generator.draw(1000)
+        scalar_gen = ZipfianGenerator(500, rng(4))
+        assert [int(v) for v in batched] == [scalar_gen.next() for _ in range(1000)]
+        assert distributions._boundary_tables[(500, generator.theta)] is None

@@ -211,3 +211,108 @@ def test_put_leaves_no_temp_files_and_hits_count(tmp_path):
     stats = cache.stats.as_dict()
     assert stats["writes"] == 2
     assert stats["hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# bounded growth: size-capped LRU pruning
+# ----------------------------------------------------------------------
+def _sized_entry(cache, key, age):
+    """One cache entry whose mtime is ``age`` seconds in the past."""
+    cache.put("exp", key, {}, {"v": key})
+    path = cache.root / "exp" / f"{key}.json"
+    stamp = os.stat(path).st_mtime - age
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_cache_prune_evicts_oldest_first(tmp_path):
+    cache = CellCache(tmp_path)
+    old = _sized_entry(cache, "old", age=300)
+    mid = _sized_entry(cache, "mid", age=200)
+    new = _sized_entry(cache, "new", age=100)
+    keep = mid.stat().st_size + new.stat().st_size
+    assert cache.prune(keep) == 1
+    assert not old.exists() and mid.exists() and new.exists()
+    assert cache.stats.as_dict()["pruned"] == 1
+
+
+def test_cache_prune_is_lru_not_fifo(tmp_path):
+    cache = CellCache(tmp_path)
+    first = _sized_entry(cache, "first", age=300)
+    second = _sized_entry(cache, "second", age=100)
+    # A hit refreshes recency: the *older write* becomes the newer use.
+    assert cache.get("exp", "first") == {"v": "first"}
+    assert cache.prune(first.stat().st_size) == 1
+    assert first.exists() and not second.exists()
+
+
+def test_cache_prune_includes_quarantined_corrupt_files(tmp_path):
+    cache = CellCache(tmp_path)
+    cache.put("exp", "k1", {}, {"v": 1})
+    (cache.root / "exp" / "k1.json").write_text("{broken")
+    assert cache.get("exp", "k1") is None  # quarantines to .corrupt
+    corrupt = cache.root / "exp" / "k1.json.corrupt"
+    assert corrupt.exists()
+    assert cache.prune(0) == 1
+    assert not corrupt.exists()
+
+
+def test_cache_prune_under_cap_removes_nothing(tmp_path):
+    cache = CellCache(tmp_path)
+    _sized_entry(cache, "k1", age=10)
+    assert cache.prune(1 << 30) == 0
+    with pytest.raises(ValueError):
+        cache.prune(-1)
+    assert CellCache(tmp_path / "missing").prune(0) == 0
+
+
+def _finished_run(tmp_path, run_id, end_state, age):
+    journal = RunJournal.create(
+        scale=SCALE, jobs=1, specs=["alpha"], run_id=run_id, root=tmp_path,
+        argv=[],
+    )
+    if end_state is not None:
+        journal.run_end(end_state, exit_code=0)
+    journal.close()
+    path = tmp_path / run_id / JOURNAL_NAME
+    stamp = os.stat(path).st_mtime - age
+    os.utime(path, (stamp, stamp))
+    return tmp_path / run_id
+
+
+def test_prune_runs_never_touches_resumable_runs(tmp_path):
+    from repro.experiments.journal import prune_runs
+
+    done = _finished_run(tmp_path, "done", RUN_COMPLETE, age=400)
+    suspended = _finished_run(tmp_path, "suspended", RUN_SUSPENDED, age=300)
+    inflight = _finished_run(tmp_path, "inflight", None, age=200)
+    assert prune_runs(0, root=tmp_path) == 1
+    assert not done.exists(), "finished runs are prunable"
+    assert suspended.exists(), "suspended runs are resumable state"
+    assert inflight.exists(), "in-flight runs are resumable state"
+
+
+def test_prune_runs_oldest_first_and_cap_respected(tmp_path):
+    from repro.experiments.journal import prune_runs
+
+    old = _finished_run(tmp_path, "old", RUN_COMPLETE, age=400)
+    new = _finished_run(tmp_path, "new", RUN_COMPLETE, age=100)
+    total = sum(
+        p.stat().st_size for d in (old, new) for p in d.rglob("*") if p.is_file()
+    )
+    keep_one = total - 1  # over cap by a hair: exactly one eviction needed
+    assert prune_runs(keep_one, root=tmp_path) == 1
+    assert not old.exists() and new.exists()
+    assert prune_runs(1 << 30, root=tmp_path) == 0
+    with pytest.raises(ValueError):
+        prune_runs(-1, root=tmp_path)
+
+
+def test_prune_runs_unreadable_journal_is_prunable(tmp_path):
+    from repro.experiments.journal import prune_runs
+
+    stray = tmp_path / "stray"
+    stray.mkdir()
+    (stray / "leftover.bin").write_bytes(b"x" * 64)
+    assert prune_runs(0, root=tmp_path) == 1
+    assert not stray.exists()
